@@ -1,0 +1,43 @@
+# GRIPhoN — build, test and reproduce the paper's results.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench reproduce examples daemon clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure (plus microbenchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure as formatted text (EXPERIMENTS.md).
+reproduce:
+	$(GO) run ./cmd/griphon-bench
+
+# Run all example programs.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/replication
+	$(GO) run ./examples/restoration
+	$(GO) run ./examples/maintenance
+	$(GO) run ./examples/grooming
+	$(GO) run ./examples/adaptive
+
+# The customer-GUI backend on :8580 (drive it with griphonctl).
+daemon:
+	$(GO) run ./cmd/griphond
+
+clean:
+	$(GO) clean ./...

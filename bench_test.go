@@ -1,0 +1,123 @@
+package griphon_test
+
+// One benchmark per paper table/figure plus the extension studies, as indexed
+// in DESIGN.md §4. Each runs the corresponding experiment end-to-end through
+// the simulator and reports its headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` regenerates every result. The cmd/griphon-bench
+// binary prints the same experiments as full tables.
+
+import (
+	"testing"
+
+	"griphon/internal/experiments"
+)
+
+// runExp runs one experiment per iteration, varying the seed so the benchmark
+// samples the jitter distributions rather than replaying one run.
+func runExp(b *testing.B, run func(seed int64) (experiments.Result, error)) experiments.Result {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := run(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	return last
+}
+
+func BenchmarkTable2SetupVsHops(b *testing.B) {
+	res := runExp(b, experiments.Table2)
+	b.ReportMetric(res.Values["hops1_mean_s"], "setup1hop_s")
+	b.ReportMetric(res.Values["hops2_mean_s"], "setup2hop_s")
+	b.ReportMetric(res.Values["hops3_mean_s"], "setup3hop_s")
+}
+
+func BenchmarkTable1ServiceComparison(b *testing.B) {
+	res := runExp(b, experiments.Table1)
+	b.ReportMetric(res.Values["setup_s"], "setup_s")
+	b.ReportMetric(res.Values["restore_outage_s"], "restore_s")
+	b.ReportMetric(res.Values["manual_outage_s"], "manual_s")
+}
+
+func BenchmarkSetupTeardown(b *testing.B) {
+	res := runExp(b, experiments.SetupTeardown)
+	b.ReportMetric(res.Values["setup_mean_s"], "setup_s")
+	b.ReportMetric(res.Values["teardown_mean_s"], "teardown_s")
+}
+
+func BenchmarkFig1CurrentLayers(b *testing.B) {
+	runExp(b, experiments.Fig1)
+}
+
+func BenchmarkFig2RatePlacement(b *testing.B) {
+	res := runExp(b, experiments.Fig2)
+	b.ReportMetric(res.Values["composite"], "composites")
+}
+
+func BenchmarkFig3Composition(b *testing.B) {
+	res := runExp(b, experiments.Fig3)
+	b.ReportMetric(res.Values["composite_channel_links"], "channel_links")
+}
+
+func BenchmarkFig4Testbed(b *testing.B) {
+	res := runExp(b, experiments.Fig4)
+	b.ReportMetric(res.Values["pairs_connected"], "pairs")
+}
+
+func BenchmarkRestorationOutage(b *testing.B) {
+	res := runExp(b, experiments.Restoration)
+	b.ReportMetric(res.Values["GRIPhoN automated restoration_mean_s"], "griphon_s")
+	b.ReportMetric(res.Values["1+1 protection_mean_s"], "oneplusone_s")
+}
+
+func BenchmarkBridgeAndRoll(b *testing.B) {
+	res := runExp(b, experiments.BridgeRoll)
+	b.ReportMetric(res.Values["roll_hit_s"]*1000, "roll_hit_ms")
+}
+
+func BenchmarkBlockingVsLoad(b *testing.B) {
+	res := runExp(b, experiments.Blocking)
+	b.ReportMetric(res.Values["shared_8"], "shared_blocking_at_8E")
+	b.ReportMetric(res.Values["dedicated_8"], "dedicated_blocking_at_8E")
+}
+
+func BenchmarkBulkTransfer(b *testing.B) {
+	res := runExp(b, experiments.Bulk)
+	b.ReportMetric(res.Values["bod_s"]/3600, "bod_h")
+	b.ReportMetric(res.Values["storeforward_s"]/3600, "storeforward_h")
+}
+
+func BenchmarkOTNSharedMesh(b *testing.B) {
+	res := runExp(b, experiments.OTNRestore)
+	b.ReportMetric(res.Values["otn_mean_s"]*1000, "otn_restore_ms")
+	b.ReportMetric(res.Values["dwdm_mean_s"], "dwdm_restore_s")
+}
+
+func BenchmarkRegrooming(b *testing.B) {
+	res := runExp(b, experiments.Regroom)
+	b.ReportMetric(res.Values["hit_s"]*1000, "hit_ms")
+}
+
+func BenchmarkRWAAblation(b *testing.B) {
+	res := runExp(b, experiments.RWAAblation)
+	b.ReportMetric(res.Values["first-fit_k1"], "firstfit_carried")
+	b.ReportMetric(res.Values["random_k1"], "random_carried")
+}
+
+func BenchmarkPlanning(b *testing.B) {
+	res := runExp(b, experiments.Planning)
+	b.ReportMetric(res.Values["measured_blocking"], "measured_blocking")
+}
+
+func BenchmarkDefrag(b *testing.B) {
+	res := runExp(b, experiments.Defrag)
+	b.ReportMetric(res.Values["moved"], "retuned")
+}
+
+func BenchmarkScale(b *testing.B) {
+	res := runExp(b, experiments.Scale)
+	b.ReportMetric(res.Values["completed"], "conns_month")
+	b.ReportMetric(res.Values["mean_setup_s"], "mean_setup_s")
+}

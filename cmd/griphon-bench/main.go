@@ -1,0 +1,54 @@
+// Command griphon-bench regenerates the paper's tables and figures (and the
+// extension studies indexed in DESIGN.md §4) as formatted text.
+//
+// Usage:
+//
+//	griphon-bench                 # run everything
+//	griphon-bench -exp table2     # one experiment
+//	griphon-bench -list           # list experiment IDs
+//	griphon-bench -seed 7         # different jitter/workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"griphon/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID to run (see -list)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All {
+			fmt.Printf("%-16s %s\n", s.ID, s.Paper)
+		}
+		return
+	}
+
+	var specs []experiments.Spec
+	if *exp == "all" {
+		specs = experiments.All
+	} else {
+		s, err := experiments.Find(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = []experiments.Spec{s}
+	}
+
+	for _, s := range specs {
+		res, err := s.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,265 @@
+// Command griphonctl is the command-line customer GUI for griphond: set up
+// and tear down connections on demand, inspect their status and fault
+// history, and (as the operator) cut fibers, schedule maintenance and move
+// the virtual clock.
+//
+// Usage:
+//
+//	griphonctl [-server URL] <command> [args]
+//
+//	connect    -customer C -from SITE -to SITE -rate 10G [-protect 1+1]
+//	disconnect -customer C -id C0001
+//	list       -customer C
+//	adjust     -customer C -id C0001 -rate 2.5G
+//	roll       -customer C -id C0001
+//	regroom    -customer C -id C0001
+//	defrag
+//	cut        -link I-IV
+//	repair     -link I-IV
+//	maint      -link I-IV [-in 1m] [-window 2h]
+//	advance    -for 1h
+//	bill       -customer C
+//	stats
+//	events     [-conn C0001]
+//	topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"griphon/internal/api"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "griphonctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("griphonctl", flag.ContinueOnError)
+	server := global.String("server", "http://localhost:8580", "griphond base URL")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (connect|disconnect|list|adjust|roll|regroom|defrag|cut|repair|maint|advance|bill|stats|events|topology)")
+	}
+	c := api.NewClient(*server)
+	cmd, cmdArgs := rest[0], rest[1:]
+
+	switch cmd {
+	case "connect":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer name")
+		from := fs.String("from", "", "source site")
+		to := fs.String("to", "", "destination site")
+		rate := fs.String("rate", "10G", "requested rate (1G..40G, composites allowed)")
+		protect := fs.String("protect", "", "restore | 1+1 | unprotected | shared-mesh")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		resp, err := c.Connect(api.ConnectRequest{
+			Customer: *customer, From: *from, To: *to, Rate: *rate, Protection: *protect,
+		})
+		if err != nil {
+			return err
+		}
+		printConns(resp.Connections)
+		return nil
+
+	case "disconnect":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer name")
+		id := fs.String("id", "", "connection ID")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		if err := c.Disconnect(*customer, *id); err != nil {
+			return err
+		}
+		fmt.Println("released", *id)
+		return nil
+
+	case "list":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer name")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		conns, err := c.Connections(*customer)
+		if err != nil {
+			return err
+		}
+		printConns(conns)
+		return nil
+
+	case "roll":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer name")
+		id := fs.String("id", "", "connection ID")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		conn, err := c.Roll(*customer, *id)
+		if err != nil {
+			return err
+		}
+		printConns([]api.ConnectionJSON{conn})
+		return nil
+
+	case "regroom":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer name")
+		id := fs.String("id", "", "connection ID")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		resp, err := c.Regroom(*customer, *id)
+		if err != nil {
+			return err
+		}
+		fmt.Println("moved:", resp.Moved)
+		printConns([]api.ConnectionJSON{resp.Connection})
+		return nil
+
+	case "adjust":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer name")
+		id := fs.String("id", "", "connection ID")
+		rate := fs.String("rate", "", "new rate (same layer)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		conn, err := c.Adjust(*customer, *id, *rate)
+		if err != nil {
+			return err
+		}
+		printConns([]api.ConnectionJSON{conn})
+		return nil
+
+	case "defrag":
+		d, err := c.Defrag()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("retuned %d connections; highest channel now %d\n", d.Retuned, d.MaxChannelNow)
+		return nil
+
+	case "cut", "repair":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		link := fs.String("link", "", "fiber link ID")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		if cmd == "cut" {
+			if err := c.Cut(*link); err != nil {
+				return err
+			}
+			fmt.Println("cut", *link)
+		} else {
+			if err := c.Repair(*link); err != nil {
+				return err
+			}
+			fmt.Println("repaired", *link)
+		}
+		return nil
+
+	case "maint":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		link := fs.String("link", "", "fiber link ID")
+		in := fs.String("in", "1m", "delay before the window opens")
+		window := fs.String("window", "2h", "window length")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		m, err := c.Maintenance(*link, *in, *window)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("maintenance on %s finished=%v rolled=%v unmoved=%v\n", m.Link, m.Finished, m.Rolled, m.Unmoved)
+		return nil
+
+	case "advance":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		d := fs.String("for", "1h", "virtual duration to advance")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		return c.Advance(*d)
+
+	case "bill":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer name")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		bill, err := c.Bill(*customer)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %.2f Gb-hours delivered\n", bill.Customer, bill.GbHours)
+		return nil
+
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("now %s: %d active, %d pending, %d down, %d restoring, %d released\n",
+			st.Now, st.Active, st.Pending, st.Down, st.Restoring, st.Released)
+		fmt.Printf("plant: %d channel-links, OTs %d/%d, pipes %d (slots %d/%d)\n",
+			st.ChannelsInUse, st.OTsInUse, st.OTsTotal, st.Pipes, st.SlotsInUse, st.SlotsTotal)
+		if len(st.DownLinks) > 0 {
+			fmt.Println("down links:", st.DownLinks)
+		}
+		return nil
+
+	case "events":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		conn := fs.String("conn", "", "filter by connection ID")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		evs, err := c.Events(*conn)
+		if err != nil {
+			return err
+		}
+		for _, e := range evs {
+			fmt.Printf("[%s] %-6s %-16s %s\n", e.At, e.Conn, e.Kind, e.Text)
+		}
+		return nil
+
+	case "topology":
+		topo, err := c.Topology()
+		if err != nil {
+			return err
+		}
+		fmt.Println("PoPs:  ", topo.PoPs)
+		fmt.Println("Fibers:")
+		for _, f := range topo.Fibers {
+			fmt.Println("  ", f)
+		}
+		fmt.Println("Sites:")
+		for _, s := range topo.Sites {
+			fmt.Println("  ", s)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func printConns(conns []api.ConnectionJSON) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tSTATE\tRATE\tLAYER\tPROTECT\tROUTE\tSETUP\tOUTAGE\tRESTORES\tROLLS")
+	for _, c := range conns {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
+			c.ID, c.State, c.Rate, c.Layer, c.Protection, c.Route, c.SetupTime, c.TotalOutage, c.Restorations, c.Rolls)
+	}
+	w.Flush()
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"griphon"
+	"griphon/internal/api"
+)
+
+func newServer(t *testing.T) string {
+	t.Helper()
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.NewServer(net).Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	url := newServer(t)
+	base := []string{"-server", url}
+	steps := [][]string{
+		{"topology"},
+		{"connect", "-customer", "acme", "-from", "DC-A", "-to", "DC-C", "-rate", "10G"},
+		{"list", "-customer", "acme"},
+		{"cut", "-link", "I-IV"},
+		{"advance", "-for", "10m"},
+		{"repair", "-link", "I-IV"},
+		{"roll", "-customer", "acme", "-id", "C0000"},
+		{"regroom", "-customer", "acme", "-id", "C0000"},
+		{"events", "-conn", "C0000"},
+		{"stats"},
+		{"connect", "-customer", "acme", "-from", "DC-A", "-to", "DC-B", "-rate", "1G"},
+		{"adjust", "-customer", "acme", "-id", "C0001", "-rate", "2.5G"},
+		{"defrag"},
+		{"maint", "-link", "II-III", "-in", "1m", "-window", "1h"},
+		{"disconnect", "-customer", "acme", "-id", "C0000"},
+	}
+	for _, step := range steps {
+		if err := run(append(append([]string{}, base...), step...)); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	url := newServer(t)
+	cases := [][]string{
+		{},                // no command
+		{"bogus-command"}, // unknown command
+		{"connect", "-customer", "acme", "-from", "DC-A", "-to", "DC-A", "-rate", "10G"}, // same site
+		{"disconnect", "-customer", "acme", "-id", "C9999"},                              // unknown conn
+		{"cut", "-link", "nope"},   // unknown link
+		{"advance", "-for", "wat"}, // bad duration
+	}
+	for _, args := range cases {
+		full := append([]string{"-server", url}, args...)
+		if err := run(full); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
+	}
+}
+
+func TestCLIUnreachableServer(t *testing.T) {
+	if err := run([]string{"-server", "http://127.0.0.1:1", "stats"}); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}
+
+func TestCLIBill(t *testing.T) {
+	url := newServer(t)
+	steps := [][]string{
+		{"connect", "-customer", "acme", "-from", "DC-A", "-to", "DC-C", "-rate", "10G"},
+		{"advance", "-for", "3h"},
+		{"bill", "-customer", "acme"},
+	}
+	for _, step := range steps {
+		if err := run(append([]string{"-server", url}, step...)); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"griphon/internal/api"
+)
+
+func TestBuildNetworkTopologies(t *testing.T) {
+	cases := []struct {
+		name      string
+		wantPoPs  string
+		wantSites int
+	}{
+		{"testbed", "4 PoPs", 3},
+		{"backbone", "14 PoPs", 6},
+		{"continental", "20 PoPs", 4},
+	}
+	for _, c := range cases {
+		net, desc, err := buildNetwork(c.name, 20, 4, 1, true)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if net == nil || !strings.Contains(desc, c.wantPoPs) {
+			t.Errorf("%s: desc = %q", c.name, desc)
+		}
+	}
+}
+
+func TestBuildNetworkErrors(t *testing.T) {
+	if _, _, err := buildNetwork("bogus", 0, 0, 1, false); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, _, err := buildNetwork("continental", 2, 1, 1, false); err == nil {
+		t.Error("invalid continental parameters accepted")
+	}
+}
+
+// TestServedNetworkEndToEnd boots the same server main would and drives one
+// connection through it.
+func TestServedNetworkEndToEnd(t *testing.T) {
+	net, _, err := buildNetwork("testbed", 0, 0, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.NewServer(net).Handler())
+	defer srv.Close()
+	client := api.NewClient(srv.URL)
+	resp, err := client.Connect(api.ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Connections[0].State != "active" {
+		t.Errorf("state = %s", resp.Connections[0].State)
+	}
+}

@@ -1,0 +1,35 @@
+// Package griphon is a faithful, simulation-backed implementation of
+// GRIPhoN — the Globally Reconfigurable Intelligent Photonic Network of
+// "Bandwidth on Demand for Inter-Data Center Communication" (AT&T Labs
+// Research, ACM HotNets 2011).
+//
+// GRIPhoN gives cloud service providers bandwidth on demand between their
+// data centers, at rates from 1 Gb/s (sub-wavelength circuits groomed by an
+// OTN layer) to full wavelength rates of 10–40 Gb/s (switched by colorless,
+// non-directional ROADMs in the DWDM layer). Connections that take carriers
+// weeks to provision today are established in about a minute, restoration
+// after fiber cuts is automated, and planned maintenance becomes nearly
+// hitless through bridge-and-roll.
+//
+// The photonic hardware of the paper's laboratory testbed is replaced by a
+// deterministic discrete-event simulation (see DESIGN.md for the
+// substitution table); the control plane — the paper's actual contribution —
+// is implemented in full: the GRIPhoN controller, vendor EMS models with
+// latencies calibrated to the paper's Table 2, routing and wavelength
+// assignment, the OTN grooming layer with shared-mesh restoration, fault
+// correlation and localization, bridge-and-roll, re-grooming and
+// multi-customer resource isolation.
+//
+// # Quick start
+//
+//	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(42))
+//	if err != nil { ... }
+//	conn, err := net.Connect("acme-cloud", "DC-A", "DC-C", griphon.Rate10G)
+//	if err != nil { ... }
+//	fmt.Println(conn.SetupTime()) // ≈ 62 s on a 1-hop path, as in Table 2
+//	net.Disconnect("acme-cloud", conn.ID)
+//
+// Everything runs on a virtual clock: a three-week provisioning lead time or
+// an eight-hour repair crew completes in microseconds of wall time, and runs
+// replay bit-identically for a given seed.
+package griphon

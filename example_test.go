@@ -1,0 +1,101 @@
+package griphon_test
+
+import (
+	"fmt"
+	"time"
+
+	"griphon"
+)
+
+// The basic BoD flow of the paper: request a wavelength, use it, release it.
+func Example() {
+	net, _ := griphon.New(griphon.Testbed(), griphon.WithSeed(42))
+	conn, err := net.Connect("acme-cloud", "DC-A", "DC-C", griphon.Rate10G)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("route:", conn.Route())
+	fmt.Println("setup in about a minute:", conn.SetupTime().Round(10*time.Second))
+	net.Disconnect("acme-cloud", conn.ID) //nolint:errcheck // example
+	// Output:
+	// route: I-IV
+	// setup in about a minute: 1m0s
+}
+
+// The paper's §2.2 composite example: 12G as one 10G wavelength plus two 1G
+// OTN circuits, instead of a second stranded wavelength.
+func ExampleNetwork_Connect_composite() {
+	net, _ := griphon.New(griphon.Testbed(), griphon.WithSeed(1))
+	if _, err := net.Connect("acme", "DC-A", "DC-B", 12*griphon.Gbps); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range net.Connections("acme") {
+		fmt.Println(c.Rate, c.Layer)
+	}
+	// Output:
+	// 10G dwdm
+	// 1G otn
+	// 1G otn
+}
+
+// Automated restoration after a fiber cut: down for about a minute, not the
+// 4-12 hours of a manual repair.
+func ExampleNetwork_CutFiber() {
+	net, _ := griphon.New(griphon.Testbed(), griphon.WithSeed(7))
+	conn, _ := net.Connect("acme", "DC-A", "DC-C", griphon.Rate10G)
+	net.CutFiber(string(conn.Route().Links[0])) //nolint:errcheck // example
+	net.Drain()
+	fmt.Println("state:", conn.State)
+	fmt.Println("restorations:", conn.Restorations)
+	fmt.Println("outage under two minutes:", conn.TotalOutage < 2*time.Minute)
+	// Output:
+	// state: active
+	// restorations: 1
+	// outage under two minutes: true
+}
+
+// Bandwidth adjustment in place: an OTN circuit grows hitlessly.
+func ExampleNetwork_AdjustRate() {
+	net, _ := griphon.New(griphon.Testbed(), griphon.WithSeed(3))
+	conn, _ := net.Connect("acme", "DC-A", "DC-B", griphon.Rate1G)
+	if err := net.AdjustRate("acme", conn.ID, griphon.Rate2G5); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("rate:", conn.Rate)
+	fmt.Println("hitless:", conn.TotalOutage == 0)
+	// Output:
+	// rate: 2.5G
+	// hitless: true
+}
+
+// Planned maintenance with bridge-and-roll: the customer sees ~25 ms, not a
+// two-hour outage.
+func ExampleNetwork_ScheduleMaintenance() {
+	net, _ := griphon.New(griphon.Testbed(), griphon.WithSeed(3))
+	conn, _ := net.Connect("acme", "DC-A", "DC-C", griphon.Rate10G)
+	m, _ := net.ScheduleMaintenance(string(conn.Route().Links[0]), time.Hour, 2*time.Hour)
+	net.Drain()
+	fmt.Println("rolled connections:", len(m.Rolled))
+	fmt.Println("customer impact under 100ms:", conn.TotalOutage < 100*time.Millisecond)
+	// Output:
+	// rolled connections: 1
+	// customer impact under 100ms: true
+}
+
+// Building a custom topology.
+func ExampleNewTopology() {
+	tp := griphon.NewTopology()
+	tp.AddPoP("WEST", true)                  //nolint:errcheck // example
+	tp.AddPoP("EAST", true)                  //nolint:errcheck // example
+	tp.AddFiber("W-E", "WEST", "EAST", 1200) //nolint:errcheck // example
+	tp.AddSite("DC-W", "WEST", 40)           //nolint:errcheck // example
+	tp.AddSite("DC-E", "EAST", 40)           //nolint:errcheck // example
+	fmt.Println(tp.Validate())
+	fmt.Println(tp.PoPs())
+	// Output:
+	// <nil>
+	// [EAST WEST]
+}

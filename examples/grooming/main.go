@@ -1,0 +1,60 @@
+// Grooming: the paper's §2.2 example. A provider needs 12G between two data
+// centers. Instead of burning a second 10G wavelength for the 2G overflow,
+// GRIPhoN provisions 10G on the DWDM layer plus two 1G OTN circuits groomed
+// into one shared wavelength pipe — and a second customer then grooms into
+// the same pipe's spare slots for the price of an electronic cross-connect.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"griphon"
+)
+
+func main() {
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("acme-cloud requests 12G DC-A -> DC-B (paper: 10G + 2x1G, not 2x10G)")
+	if _, err := net.Connect("acme-cloud", "DC-A", "DC-B", 12*griphon.Gbps); err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range net.Connections("acme-cloud") {
+		switch c.Layer.String() {
+		case "dwdm":
+			fmt.Printf("  %s %v wavelength on %s (channel %v), setup %v\n",
+				c.ID, c.Rate, c.Route(), c.Channels(), c.SetupTime().Round(time.Second))
+		case "otn":
+			fmt.Printf("  %s %v OTN circuit on pipes %v, setup %v\n",
+				c.ID, c.Rate, c.PipeIDs(), c.SetupTime().Round(time.Second))
+		}
+	}
+
+	st := net.Stats()
+	fmt.Printf("\nplant: %d channel-links lit, %d OTN pipe(s), slots %d/%d used\n",
+		st.ChannelsInUse, st.Pipes, st.SlotsInUse, st.SlotsTotal)
+
+	fmt.Println("\ninitech requests 2.5G DC-A -> DC-B: grooms into the same pipe, no new wavelength")
+	before := net.Now()
+	conn, err := net.Connect("initech", "DC-A", "DC-B", griphon.Rate2G5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s %v up in %v (electronic cross-connects only)\n",
+		conn.ID, conn.Rate, (net.Now() - before).Round(time.Second))
+
+	st = net.Stats()
+	fmt.Printf("\nplant after grooming: %d channel-links, %d pipe(s), slots %d/%d used\n",
+		st.ChannelsInUse, st.Pipes, st.SlotsInUse, st.SlotsTotal)
+	fmt.Println("  (a 2.5G private line in today's network would strand a whole wavelength)")
+
+	// Isolation: initech cannot touch acme's circuits.
+	acme := net.Connections("acme-cloud")
+	if err := net.Disconnect("initech", acme[0].ID); err != nil {
+		fmt.Printf("\nisolation check: initech tearing down %s -> %v\n", acme[0].ID, err)
+	}
+}

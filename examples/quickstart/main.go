@@ -1,0 +1,46 @@
+// Quickstart: bring up the paper's Fig. 4 testbed, request a 10G wavelength
+// between two data centers, watch it come up in about a minute (paper Table
+// 2), then tear it down in about ten seconds (paper §3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"griphon"
+)
+
+func main() {
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("GRIPhoN testbed (paper Fig. 4)")
+	fmt.Println("  PoPs:  ", griphon.Testbed().PoPs())
+	fmt.Println("  Sites: ", griphon.Testbed().Sites())
+	fmt.Println()
+
+	fmt.Println("Requesting a 10G wavelength DC-A -> DC-C ...")
+	conn, err := net.Connect("acme-cloud", "DC-A", "DC-C", griphon.Rate10G)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  up after %v on path %s, wavelength channel %v\n",
+		conn.SetupTime().Round(1e7), conn.Route(), conn.Channels())
+	fmt.Println("  (today's carriers would have taken several weeks)")
+	fmt.Println()
+
+	before := net.Now()
+	fmt.Println("Tearing it down ...")
+	if err := net.Disconnect("acme-cloud", conn.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  released after %v\n", (net.Now() - before).Round(1e7))
+	fmt.Println()
+
+	fmt.Println("Connection event log:")
+	for _, e := range net.EventsFor(conn.ID) {
+		fmt.Printf("  %v\n", e)
+	}
+}

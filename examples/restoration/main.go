@@ -1,0 +1,73 @@
+// Restoration: a backhoe cuts a fiber under three otherwise identical 10G
+// wavelengths, one per survivability scheme. Watch 1+1 switch in
+// milliseconds, GRIPhoN's automated restoration re-provision in about a
+// minute, and the unprotected connection wait hours for the repair crew
+// (paper Table 1's outage rows).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"griphon"
+)
+
+func main() {
+	schemes := []struct {
+		name    string
+		protect griphon.Protection
+		repair  bool
+	}{
+		{"1+1 protection (expensive)", griphon.OnePlusOne, false},
+		{"GRIPhoN automated restoration", griphon.Restore, false},
+		{"unprotected (wait for repair crew)", griphon.Unprotected, true},
+	}
+
+	fmt.Println("Fiber cut on the working path, by survivability scheme:")
+	fmt.Println()
+	for _, sc := range schemes {
+		opts := []griphon.Option{griphon.WithSeed(11)}
+		if sc.repair {
+			opts = append(opts, griphon.WithAutoRepair())
+		}
+		net, err := griphon.New(griphon.Testbed(), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := net.Connect("acme-cloud", "DC-A", "DC-C", griphon.Rate10G, sc.protect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		route := conn.Route()
+		if err := net.CutFiber(string(route.Links[0])); err != nil {
+			log.Fatal(err)
+		}
+		net.Drain() // let detection, localization, restoration/repair play out
+
+		fmt.Printf("%-36s outage %-14v", sc.name, conn.TotalOutage.Round(time.Millisecond))
+		switch {
+		case conn.Restorations > 0:
+			fmt.Printf(" (re-provisioned onto %s)", conn.Route())
+		case conn.Route().Equal(route):
+			fmt.Printf(" (revived on the repaired path)")
+		default:
+			fmt.Printf(" (switched to standby %s)", conn.Route())
+		}
+		fmt.Println()
+
+		fmt.Println("  controller timeline:")
+		for _, e := range net.EventsFor(conn.ID) {
+			if e.Kind == "request" || e.Kind == "active" {
+				continue
+			}
+			fmt.Printf("    %v\n", e)
+		}
+		for _, e := range net.Events() {
+			if e.Conn == "" && (e.Kind == "localized" || e.Kind == "repair-dispatch") {
+				fmt.Printf("    %v\n", e)
+			}
+		}
+		fmt.Println()
+	}
+}

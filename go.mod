@@ -1,0 +1,3 @@
+module griphon
+
+go 1.22

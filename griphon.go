@@ -1,0 +1,343 @@
+package griphon
+
+import (
+	"fmt"
+	"time"
+
+	"griphon/internal/bw"
+	"griphon/internal/core"
+	"griphon/internal/inventory"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// Rate is a connection bandwidth in bits per second.
+type Rate = bw.Rate
+
+// The BoD rates the paper discusses. Any rate from 1G upward is accepted;
+// these are the common points.
+const (
+	Rate1G  = bw.Rate1G
+	Rate2G5 = bw.Rate2G5
+	Rate10G = bw.Rate10G
+	Rate40G = bw.Rate40G
+	Gbps    = bw.Gbps
+	Mbps    = bw.Mbps
+)
+
+// ParseRate converts "1G", "2.5G", "10G", "622M" into a Rate.
+func ParseRate(s string) (Rate, error) { return bw.Parse(s) }
+
+// Protection selects a connection's survivability scheme (paper Table 1).
+type Protection = core.Protection
+
+const (
+	// Restore is GRIPhoN's automated dynamic restoration (default).
+	Restore = core.Restore
+	// OnePlusOne pre-provisions a disjoint hot standby (~50 ms switch,
+	// double cost).
+	OnePlusOne = core.OnePlusOne
+	// Unprotected waits for fiber repair (4–12 h outages).
+	Unprotected = core.Unprotected
+	// SharedMesh is the OTN layer's sub-second restoration (circuits).
+	SharedMesh = core.SharedMesh
+)
+
+// Connection is a customer connection's live record. Fields are maintained by
+// the controller; treat them as read-only.
+type Connection = core.Connection
+
+// ConnID identifies a connection.
+type ConnID = core.ConnID
+
+// Event is one audit-log entry (what the customer GUI shows).
+type Event = core.Event
+
+// Stats is a network-wide resource snapshot.
+type Stats = core.Stats
+
+// Maintenance reports what a planned-work window did.
+type Maintenance = core.Maintenance
+
+// Option configures a Network.
+type Option func(*config)
+
+type config struct {
+	seed int64
+	core core.Config
+}
+
+// WithSeed sets the simulation seed (default 1). Runs with equal seeds are
+// bit-identical.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithChannels sets the DWDM grid size per fiber (default 80).
+func WithChannels(n int) Option {
+	return func(c *config) { c.core.Optics.Channels = n }
+}
+
+// WithReachKM sets the optical reach before regeneration (default 2500 km).
+func WithReachKM(km float64) Option {
+	return func(c *config) { c.core.Optics.ReachKM = km }
+}
+
+// WithOTsPerNode sets the transponder pool size at every PoP (default 8).
+func WithOTsPerNode(n int) Option {
+	return func(c *config) { c.core.Optics.OTsPerNode = n }
+}
+
+// WithRegensPerNode sets the regenerator pool size at every PoP (default 2).
+func WithRegensPerNode(n int) Option {
+	return func(c *config) { c.core.Optics.RegensPerNode = n }
+}
+
+// WithReachForRate overrides the optical reach for one line rate (e.g. 40G
+// signals regenerate sooner than 10G ones).
+func WithReachForRate(rate Rate, km float64) Option {
+	return func(c *config) {
+		if c.core.Optics.ReachByRate == nil {
+			c.core.Optics.ReachByRate = map[Rate]float64{}
+		}
+		c.core.Optics.ReachByRate[rate] = km
+	}
+}
+
+// WithAutoRepair dispatches a repair crew automatically after every fiber
+// cut (4–12 h, drawn from the latency model).
+func WithAutoRepair() Option {
+	return func(c *config) { c.core.AutoRepair = true }
+}
+
+// WithAutoRevert re-grooms restored connections back onto their best path
+// after repairs, via bridge-and-roll.
+func WithAutoRevert() Option {
+	return func(c *config) { c.core.AutoRevert = true }
+}
+
+// Network is a GRIPhoN deployment: the photonic plant, the OTN overlay, the
+// vendor EMSes and the GRIPhoN controller, all running on one virtual clock.
+// Network is not safe for concurrent use; the simulation is single-threaded
+// by design (determinism).
+type Network struct {
+	k    *sim.Kernel
+	ctrl *core.Controller
+}
+
+// New builds a network over the given topology.
+func New(t *Topology, opts ...Option) (*Network, error) {
+	if t == nil {
+		return nil, fmt.Errorf("griphon: nil topology")
+	}
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// Partially overridden optics configs inherit the remaining defaults.
+	oc := &cfg.core.Optics
+	if oc.Channels == 0 {
+		oc.Channels = 80
+	}
+	if oc.ReachKM == 0 {
+		oc.ReachKM = 2500
+	}
+	if oc.OTsPerNode == 0 {
+		oc.OTsPerNode = 8
+	}
+	if oc.RegensPerNode == 0 {
+		oc.RegensPerNode = 2
+	}
+	k := sim.NewKernel(cfg.seed)
+	ctrl, err := core.New(k, t.g, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{k: k, ctrl: ctrl}, nil
+}
+
+// Controller exposes the underlying GRIPhoN controller for advanced use
+// (benchmark harnesses drive it directly).
+func (n *Network) Controller() *core.Controller { return n.ctrl }
+
+// Now returns the current virtual time as an offset from the start.
+func (n *Network) Now() time.Duration { return time.Duration(n.k.Now()) }
+
+// Advance runs the simulation for d of virtual time.
+func (n *Network) Advance(d time.Duration) { n.k.RunFor(d) }
+
+// Drain runs the simulation until no events remain.
+func (n *Network) Drain() { n.k.Run() }
+
+// await drives the clock until the job completes.
+func (n *Network) await(job *sim.Job) error {
+	for !job.Done() {
+		if !n.k.Step() {
+			return fmt.Errorf("griphon: simulation stalled waiting for job")
+		}
+	}
+	return job.Err()
+}
+
+// Connect provisions a connection between two sites at the given rate and
+// runs the simulation until it is active (or its setup fails). Rates above a
+// single wavelength (e.g. 12G) are provisioned as composite services; the
+// returned connection is then the first component — use Connections to see
+// them all.
+func (n *Network) Connect(customer, from, to string, rate Rate, protect ...Protection) (*Connection, error) {
+	req := core.Request{
+		Customer: inventory.Customer(customer),
+		From:     topo.SiteID(from),
+		To:       topo.SiteID(to),
+		Rate:     rate,
+	}
+	if len(protect) > 0 {
+		req.Protect = protect[0]
+	}
+	conns, job, err := n.ctrl.ConnectComposite(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.await(job); err != nil {
+		return nil, err
+	}
+	return conns[0], nil
+}
+
+// ConnectAsync submits the request and returns without advancing the clock;
+// the connection is Pending until the caller advances time past its setup.
+func (n *Network) ConnectAsync(customer, from, to string, rate Rate, protect ...Protection) (*Connection, error) {
+	req := core.Request{
+		Customer: inventory.Customer(customer),
+		From:     topo.SiteID(from),
+		To:       topo.SiteID(to),
+		Rate:     rate,
+	}
+	if len(protect) > 0 {
+		req.Protect = protect[0]
+	}
+	conn, _, err := n.ctrl.Connect(req)
+	return conn, err
+}
+
+// Disconnect tears a connection down and runs until its resources are
+// released.
+func (n *Network) Disconnect(customer string, id ConnID) error {
+	job, err := n.ctrl.Disconnect(inventory.Customer(customer), id)
+	if err != nil {
+		return err
+	}
+	return n.await(job)
+}
+
+// Connections lists a customer's connections (the GUI's connection view).
+func (n *Network) Connections(customer string) []*Connection {
+	return n.ctrl.CustomerConnections(inventory.Customer(customer))
+}
+
+// Conn returns one connection by ID, or nil.
+func (n *Network) Conn(id ConnID) *Connection { return n.ctrl.Conn(id) }
+
+// CutFiber fails a fiber link; detection, localization and restoration
+// proceed as the simulation advances.
+func (n *Network) CutFiber(link string) error {
+	return n.ctrl.CutFiber(topo.LinkID(link))
+}
+
+// RepairFiber returns a failed link to service.
+func (n *Network) RepairFiber(link string) error {
+	return n.ctrl.RepairFiber(topo.LinkID(link))
+}
+
+// BridgeAndRoll moves an active wavelength connection to a disjoint path
+// almost hitlessly and runs until the roll completes.
+func (n *Network) BridgeAndRoll(customer string, id ConnID) error {
+	job, err := n.ctrl.BridgeAndRoll(inventory.Customer(customer), id, nil)
+	if err != nil {
+		return err
+	}
+	return n.await(job)
+}
+
+// ScheduleMaintenance plans work on a link at a virtual time offset `in` from
+// now, lasting `window`. It returns immediately; advance the clock to let it
+// happen. The Maintenance record fills in as it proceeds.
+func (n *Network) ScheduleMaintenance(link string, in, window time.Duration) (*Maintenance, error) {
+	m, _, err := n.ctrl.ScheduleMaintenance(topo.LinkID(link), n.k.Now().Add(in), window)
+	return m, err
+}
+
+// Regroom moves a connection onto a better path if one exists (reports
+// whether it moved) and runs until done.
+func (n *Network) Regroom(customer string, id ConnID) (bool, error) {
+	moved, job, err := n.ctrl.Regroom(inventory.Customer(customer), id)
+	if err != nil {
+		return false, err
+	}
+	return moved, n.await(job)
+}
+
+// Booking is a calendar reservation for a future bandwidth window.
+type Booking = core.Booking
+
+// ScheduleConnect books a connection window starting `in` from now and
+// lasting `hold`. Provisioning happens when the window opens; advance the
+// clock to let it play out.
+func (n *Network) ScheduleConnect(customer, from, to string, rate Rate, in, hold time.Duration) (*Booking, error) {
+	return n.ctrl.ScheduleConnect(core.Request{
+		Customer: inventory.Customer(customer),
+		From:     topo.SiteID(from),
+		To:       topo.SiteID(to),
+		Rate:     rate,
+	}, sim.Time(n.Now()+in), hold)
+}
+
+// AdjustRate resizes an active connection in place (OTN circuits: hitless
+// slot changes; wavelengths: a brief re-tune) and runs until the adjustment
+// completes. Moves across the OTN/DWDM boundary are rejected.
+func (n *Network) AdjustRate(customer string, id ConnID, rate Rate) error {
+	job, err := n.ctrl.AdjustRate(inventory.Customer(customer), id, rate)
+	if err != nil {
+		return err
+	}
+	return n.await(job)
+}
+
+// ReclaimIdlePipes retires OTN pipes that carry no circuits, returning their
+// wavelengths and transponders to the shared pool. It reports how many pipes
+// were reclaimed and runs until the teardowns complete.
+func (n *Network) ReclaimIdlePipes() (int, error) {
+	job, count := n.ctrl.ReclaimIdlePipes()
+	return count, n.await(job)
+}
+
+// BillGbHours returns a customer's cumulative delivered gigabit-hours — the
+// BoD billing unit (outages excluded).
+func (n *Network) BillGbHours(customer string) float64 {
+	return n.ctrl.BillGbHours(inventory.Customer(customer))
+}
+
+// SetQuota bounds a customer's simultaneous connections and total bandwidth
+// (zero = unlimited).
+func (n *Network) SetQuota(customer string, maxConns int, maxBandwidth Rate) {
+	n.ctrl.Ledger().SetQuota(inventory.Customer(customer), inventory.Quota{
+		MaxConnections: maxConns,
+		MaxBandwidth:   maxBandwidth,
+	})
+}
+
+// Stats returns a resource snapshot.
+func (n *Network) Stats() Stats { return n.ctrl.Snapshot() }
+
+// Events returns the audit log.
+func (n *Network) Events() []Event { return n.ctrl.Events() }
+
+// EventsFor returns the audit log entries for one connection.
+func (n *Network) EventsFor(id ConnID) []Event { return n.ctrl.EventsFor(id) }
+
+// DefragmentSpectrum retunes active wavelengths down to the lowest free
+// channels on their paths (brief per-connection hits), restoring first-fit
+// packing after churn. It reports how many connections moved and runs until
+// the retunes complete.
+func (n *Network) DefragmentSpectrum() (int, error) {
+	job, moved := n.ctrl.DefragmentSpectrum()
+	return moved, n.await(job)
+}

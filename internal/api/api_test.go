@@ -1,0 +1,282 @@
+package api
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"griphon"
+)
+
+func newTestServer(t *testing.T) (*Client, *griphon.Network) {
+	t.Helper()
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(net).Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), net
+}
+
+func TestConnectDisconnectRoundTrip(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Connections) != 1 {
+		t.Fatalf("connections = %d", len(resp.Connections))
+	}
+	conn := resp.Connections[0]
+	if conn.State != "active" || conn.Layer != "dwdm" || conn.Rate != "10G" {
+		t.Errorf("conn = %+v", conn)
+	}
+	if conn.SetupSeconds < 55 || conn.SetupSeconds > 70 {
+		t.Errorf("setup = %v s", conn.SetupSeconds)
+	}
+	if conn.Route == "" {
+		t.Error("route missing")
+	}
+
+	list, err := c.Connections("acme")
+	if err != nil || len(list) != 1 {
+		t.Fatalf("list = %v, %v", list, err)
+	}
+	if err := c.Disconnect("acme", conn.ID); err != nil {
+		t.Fatal(err)
+	}
+	list, _ = c.Connections("acme")
+	if len(list) != 1 || list[0].State != "released" {
+		t.Errorf("after disconnect: %+v", list)
+	}
+}
+
+func TestConnectComposite(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-B", Rate: "12G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Connections) != 3 {
+		t.Fatalf("composite components = %d, want 3", len(resp.Connections))
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-B", Rate: "bogus"}); err == nil {
+		t.Error("bogus rate accepted")
+	}
+	if _, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-B", Rate: "10G", Protection: "wat"}); err == nil {
+		t.Error("bogus protection accepted")
+	}
+	if _, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-Z", Rate: "10G"}); err == nil {
+		t.Error("unknown site accepted")
+	}
+	// Cross-customer disconnect refused.
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-B", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Disconnect("evil", resp.Connections[0].ID); err == nil {
+		t.Error("cross-customer disconnect accepted")
+	} else if !strings.Contains(err.Error(), "belongs to") {
+		t.Errorf("isolation error should mention ownership: %v", err)
+	}
+}
+
+func TestCutRepairAndEvents(t *testing.T) {
+	c, net := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Connections[0].ID
+	link := strings.Split(resp.Connections[0].Route, "-")
+	_ = link
+	route := resp.Connections[0].Route // e.g. "I-IV"
+	if err := c.Cut(route); err != nil {
+		t.Fatal(err)
+	}
+	// Advance so restoration completes.
+	if err := c.Advance("10m"); err != nil {
+		t.Fatal(err)
+	}
+	list, _ := c.Connections("acme")
+	if list[0].State != "active" || list[0].Restorations != 1 {
+		t.Errorf("after cut+advance: %+v", list[0])
+	}
+	if err := c.Repair(route); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Repair(route); err == nil {
+		t.Error("double repair accepted")
+	}
+	evs, err := c.Events(id)
+	if err != nil || len(evs) < 3 {
+		t.Fatalf("events = %d, %v", len(evs), err)
+	}
+	all, err := c.Events("")
+	if err != nil || len(all) < len(evs) {
+		t.Fatalf("all events = %d, %v", len(all), err)
+	}
+	_ = net
+}
+
+func TestRollAndRegroom(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Connections[0].ID
+	oldRoute := resp.Connections[0].Route
+	rolled, err := c.Roll("acme", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled.Route == oldRoute {
+		t.Error("roll did not change route")
+	}
+	if rolled.Rolls != 1 {
+		t.Errorf("rolls = %d", rolled.Rolls)
+	}
+	rg, err := c.Regroom("acme", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.Moved || rg.Connection.Route != oldRoute {
+		t.Errorf("regroom = %+v", rg)
+	}
+}
+
+func TestStatsAndTopology(t *testing.T) {
+	c, _ := newTestServer(t)
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OTsTotal == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	topoJSON, err := c.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topoJSON.PoPs) != 4 || len(topoJSON.Fibers) != 5 || len(topoJSON.Sites) != 3 {
+		t.Errorf("topology = %+v", topoJSON)
+	}
+}
+
+func TestMaintenanceEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Maintenance(resp.Connections[0].Route, "1m", "1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Finished || len(m.Rolled) != 1 {
+		t.Errorf("maintenance = %+v", m)
+	}
+	if _, err := c.Maintenance("nope", "1m", "1h"); err == nil {
+		t.Error("unknown link accepted")
+	}
+	if _, err := c.Maintenance(resp.Connections[0].Route, "bogus", "1h"); err == nil {
+		t.Error("bogus duration accepted")
+	}
+}
+
+func TestAdvanceValidation(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.Advance("wat"); err == nil {
+		t.Error("bogus duration accepted")
+	}
+	if err := c.Advance("-5s"); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := c.Advance("1h"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Stats()
+	if st.Now != "1h0m0s" {
+		t.Errorf("now = %s", st.Now)
+	}
+}
+
+func TestConnectionsRequiresCustomer(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.Connections(""); err == nil {
+		t.Error("missing customer accepted")
+	}
+}
+
+func TestAdjustEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-B", Rate: "1G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Connections[0].ID
+	adjusted, err := c.Adjust("acme", id, "2.5G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adjusted.Rate != "2.5G" {
+		t.Errorf("rate = %s", adjusted.Rate)
+	}
+	if _, err := c.Adjust("acme", id, "bogus"); err == nil {
+		t.Error("bogus rate accepted")
+	}
+	if _, err := c.Adjust("evil", id, "1G"); err == nil {
+		t.Error("cross-customer adjust accepted")
+	}
+	if _, err := c.Adjust("acme", id, "10G"); err == nil {
+		t.Error("layer-crossing adjust accepted")
+	}
+}
+
+func TestDefragEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	// Fragment: 2 wavelengths, drop the first.
+	r1, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-B", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-B", Rate: "10G"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Disconnect("acme", r1.Connections[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Defrag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Retuned != 1 || d.MaxChannelNow != 1 {
+		t.Errorf("defrag = %+v", d)
+	}
+}
+
+func TestBillEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance("2h"); err != nil {
+		t.Fatal(err)
+	}
+	bill, err := c.Bill("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bill.GbHours < 19.9 || bill.GbHours > 20.1 {
+		t.Errorf("bill = %.2f Gb-h, want ~20", bill.GbHours)
+	}
+	if _, err := c.Bill(""); err == nil {
+		t.Error("missing customer accepted")
+	}
+}

@@ -1,0 +1,364 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"griphon"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// Server adapts a griphon.Network to HTTP. The simulation is single-threaded,
+// so one mutex serializes all requests; each mutating call advances the
+// virtual clock until its operation completes (a 62 s setup returns in
+// microseconds of wall time).
+type Server struct {
+	mu  sync.Mutex
+	net *griphon.Network
+}
+
+// NewServer wraps a network.
+func NewServer(net *griphon.Network) *Server { return &Server{net: net} }
+
+// Handler returns the API's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/connections", s.handleConnections)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/topology", s.handleTopology)
+	mux.HandleFunc("GET /api/v1/bill", s.handleBill)
+	mux.HandleFunc("POST /api/v1/connect", s.handleConnect)
+	mux.HandleFunc("POST /api/v1/disconnect", s.handleDisconnect)
+	mux.HandleFunc("POST /api/v1/roll", s.handleRoll)
+	mux.HandleFunc("POST /api/v1/regroom", s.handleRegroom)
+	mux.HandleFunc("POST /api/v1/adjust", s.handleAdjust)
+	mux.HandleFunc("POST /api/v1/defrag", s.handleDefrag)
+	mux.HandleFunc("POST /api/v1/cut", s.handleCut)
+	mux.HandleFunc("POST /api/v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /api/v1/maintenance", s.handleMaintenance)
+	mux.HandleFunc("POST /api/v1/advance", s.handleAdvance)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorJSON{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) now() sim.Time { return sim.Time(s.net.Now()) }
+
+func (s *Server) graph() *topo.Graph { return s.net.Controller().Graph() }
+
+func (s *Server) handleConnections(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cust := r.URL.Query().Get("customer")
+	if cust == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("customer query parameter required"))
+		return
+	}
+	var out []ConnectionJSON
+	for _, c := range s.net.Connections(cust) {
+		out = append(out, FromConnection(c, s.now(), s.graph()))
+	}
+	writeJSON(w, http.StatusOK, ConnectResponse{Connections: out})
+}
+
+func (s *Server) handleConnect(w http.ResponseWriter, r *http.Request) {
+	var req ConnectRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rate, err := griphon.ParseRate(req.Rate)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	protect, err := parseProtection(req.Protection)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	before := len(s.net.Connections(req.Customer))
+	if _, err := s.net.Connect(req.Customer, req.From, req.To, rate, protect); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	var out []ConnectionJSON
+	for _, c := range s.net.Connections(req.Customer)[before:] {
+		out = append(out, FromConnection(c, s.now(), s.graph()))
+	}
+	writeJSON(w, http.StatusOK, ConnectResponse{Connections: out})
+}
+
+func parseProtection(s string) (griphon.Protection, error) {
+	switch s {
+	case "", "restore":
+		return griphon.Restore, nil
+	case "1+1", "oneplusone":
+		return griphon.OnePlusOne, nil
+	case "unprotected":
+		return griphon.Unprotected, nil
+	case "shared-mesh", "sharedmesh":
+		return griphon.SharedMesh, nil
+	}
+	return 0, fmt.Errorf("unknown protection %q", s)
+}
+
+func (s *Server) handleDisconnect(w http.ResponseWriter, r *http.Request) {
+	var req DisconnectRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.net.Disconnect(req.Customer, griphon.ConnID(req.ID)); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
+func (s *Server) handleRoll(w http.ResponseWriter, r *http.Request) {
+	var req RollRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.net.BridgeAndRoll(req.Customer, griphon.ConnID(req.ID)); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	conn := s.net.Conn(griphon.ConnID(req.ID))
+	writeJSON(w, http.StatusOK, FromConnection(conn, s.now(), s.graph()))
+}
+
+func (s *Server) handleRegroom(w http.ResponseWriter, r *http.Request) {
+	var req RollRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	moved, err := s.net.Regroom(req.Customer, griphon.ConnID(req.ID))
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	conn := s.net.Conn(griphon.ConnID(req.ID))
+	writeJSON(w, http.StatusOK, RegroomResponse{Moved: moved, Connection: FromConnection(conn, s.now(), s.graph())})
+}
+
+func (s *Server) handleAdjust(w http.ResponseWriter, r *http.Request) {
+	var req AdjustRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rate, err := griphon.ParseRate(req.Rate)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.net.AdjustRate(req.Customer, griphon.ConnID(req.ID), rate); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	conn := s.net.Conn(griphon.ConnID(req.ID))
+	writeJSON(w, http.StatusOK, FromConnection(conn, s.now(), s.graph()))
+}
+
+func (s *Server) handleDefrag(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	moved, err := s.net.DefragmentSpectrum()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DefragResponse{
+		Retuned:       moved,
+		MaxChannelNow: s.net.Controller().MaxChannelInUse(),
+	})
+}
+
+func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
+	var req LinkRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.net.CutFiber(req.Link); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cut"})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req LinkRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.net.RepairFiber(req.Link); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "repaired"})
+}
+
+func (s *Server) handleMaintenance(w http.ResponseWriter, r *http.Request) {
+	var req LinkRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in, err := time.ParseDuration(valueOr(req.In, "1m"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	window, err := time.ParseDuration(valueOr(req.Window, "2h"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.net.ScheduleMaintenance(req.Link, in, window)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	// Let the whole window play out so the response is conclusive.
+	s.net.Advance(in + window + time.Hour)
+	out := MaintenanceJSON{Link: string(m.Link), Finished: m.Finished}
+	for _, id := range m.Rolled {
+		out.Rolled = append(out.Rolled, string(id))
+	}
+	for _, id := range m.Unmoved {
+		out.Unmoved = append(out.Unmoved, string(id))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func valueOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := time.ParseDuration(req.Duration)
+	if err != nil || d < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad duration %q", req.Duration))
+		return
+	}
+	s.net.Advance(d)
+	writeJSON(w, http.StatusOK, map[string]string{"now": s.net.Now().String()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.net.Stats()
+	out := StatsJSON{
+		Now:           s.net.Now().String(),
+		Active:        st.Active,
+		Pending:       st.Pending,
+		Down:          st.Down,
+		Restoring:     st.Restoring,
+		Released:      st.Released,
+		InternalConns: st.InternalConns,
+		ChannelsInUse: st.ChannelsInUse,
+		OTsInUse:      st.OTsInUse,
+		OTsTotal:      st.OTsTotal,
+		Pipes:         st.Pipes,
+		SlotsInUse:    st.SlotsInUse,
+		SlotsTotal:    st.SlotsTotal,
+	}
+	for _, l := range st.DownLinks {
+		out.DownLinks = append(out.DownLinks, string(l))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	connFilter := r.URL.Query().Get("conn")
+	var evs []griphon.Event
+	if connFilter != "" {
+		evs = s.net.EventsFor(griphon.ConnID(connFilter))
+	} else {
+		evs = s.net.Events()
+	}
+	out := make([]EventJSON, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, EventJSON{
+			At: e.At.String(), Conn: string(e.Conn), Kind: e.Kind, Text: e.Text,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cust := r.URL.Query().Get("customer")
+	if cust == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("customer query parameter required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, BillJSON{Customer: cust, GbHours: s.net.BillGbHours(cust)})
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.net.Controller().Graph()
+	out := TopologyJSON{}
+	for _, n := range g.Nodes() {
+		out.PoPs = append(out.PoPs, string(n.ID))
+	}
+	for _, l := range g.Links() {
+		out.Fibers = append(out.Fibers, fmt.Sprintf("%s (%.0f km)", l.ID, l.KM))
+	}
+	for _, site := range g.Sites() {
+		out.Sites = append(out.Sites, fmt.Sprintf("%s @ %s (%.0fG access)", site.ID, site.Home, site.AccessGbps))
+	}
+	writeJSON(w, http.StatusOK, out)
+}

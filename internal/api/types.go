@@ -1,0 +1,186 @@
+// Package api defines the wire protocol of griphond — the HTTP/JSON service
+// that plays the role of the paper's customer GUI backend (§2.2): per-
+// customer connection management (set up / tear down on demand) and simple
+// fault visibility (connection status, affected-by-outage, restoration
+// progress), hiding the network's internals from the customer. It also
+// carries the operator-side endpoints (fiber cuts, repairs, maintenance,
+// clock control) that a lab GUI would expose.
+package api
+
+import (
+	"time"
+
+	"griphon/internal/core"
+	"griphon/internal/rwa"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// ConnectionJSON is the customer-visible view of a connection.
+type ConnectionJSON struct {
+	ID           string        `json:"id"`
+	Customer     string        `json:"customer"`
+	From         string        `json:"from"`
+	To           string        `json:"to"`
+	Rate         string        `json:"rate"`
+	Layer        string        `json:"layer"`
+	Protection   string        `json:"protection"`
+	State        string        `json:"state"`
+	Route        string        `json:"route,omitempty"`
+	SetupTime    string        `json:"setup_time,omitempty"`
+	TotalOutage  string        `json:"total_outage,omitempty"`
+	Restorations int           `json:"restorations"`
+	Rolls        int           `json:"rolls"`
+	SetupSeconds float64       `json:"setup_seconds"`
+	OutageNanos  time.Duration `json:"outage_nanos"`
+	// PropagationMS is the one-way light propagation delay of the current
+	// route in milliseconds (zero for OTN circuits, whose fiber path is
+	// the pipes' concern).
+	PropagationMS float64 `json:"propagation_ms,omitempty"`
+}
+
+// FromConnection converts a controller record; now is the current virtual
+// time (for still-open outages) and g the topology (for propagation delay;
+// nil skips it).
+func FromConnection(c *core.Connection, now sim.Time, g *topo.Graph) ConnectionJSON {
+	j := ConnectionJSON{
+		ID:           string(c.ID),
+		Customer:     string(c.Customer),
+		From:         string(c.From),
+		To:           string(c.To),
+		Rate:         c.Rate.String(),
+		Layer:        c.Layer.String(),
+		Protection:   c.Protect.String(),
+		State:        c.State.String(),
+		Restorations: c.Restorations,
+		Rolls:        c.Rolls,
+	}
+	if r := c.Route(); len(r.Nodes) > 0 {
+		j.Route = r.String()
+		if g != nil {
+			j.PropagationMS = rwa.PropagationDelay(g, r) * 1000
+		}
+	}
+	if st := c.SetupTime(); st > 0 {
+		j.SetupTime = st.String()
+		j.SetupSeconds = st.Seconds()
+	}
+	if outage := c.Outage(now); outage > 0 {
+		j.TotalOutage = outage.String()
+		j.OutageNanos = outage
+	}
+	return j
+}
+
+// ConnectRequest asks for a new connection.
+type ConnectRequest struct {
+	Customer string `json:"customer"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	// Rate is textual: "1G", "2.5G", "10G", "12G", "40G".
+	Rate string `json:"rate"`
+	// Protection: "restore" (default), "1+1", "unprotected",
+	// "shared-mesh".
+	Protection string `json:"protection,omitempty"`
+}
+
+// ConnectResponse lists the provisioned components (composites have several).
+type ConnectResponse struct {
+	Connections []ConnectionJSON `json:"connections"`
+}
+
+// DisconnectRequest tears a connection down.
+type DisconnectRequest struct {
+	Customer string `json:"customer"`
+	ID       string `json:"id"`
+}
+
+// RollRequest triggers bridge-and-roll or re-grooming.
+type RollRequest struct {
+	Customer string `json:"customer"`
+	ID       string `json:"id"`
+}
+
+// AdjustRequest resizes a connection in place.
+type AdjustRequest struct {
+	Customer string `json:"customer"`
+	ID       string `json:"id"`
+	Rate     string `json:"rate"`
+}
+
+// DefragResponse reports a defragmentation sweep.
+type DefragResponse struct {
+	Retuned       int `json:"retuned"`
+	MaxChannelNow int `json:"max_channel_now"`
+}
+
+// RegroomResponse reports whether re-grooming moved the connection.
+type RegroomResponse struct {
+	Moved      bool           `json:"moved"`
+	Connection ConnectionJSON `json:"connection"`
+}
+
+// LinkRequest names a fiber link (cut / repair / maintenance).
+type LinkRequest struct {
+	Link string `json:"link"`
+	// In and Window apply to maintenance scheduling only.
+	In     string `json:"in,omitempty"`
+	Window string `json:"window,omitempty"`
+}
+
+// AdvanceRequest moves the virtual clock forward.
+type AdvanceRequest struct {
+	Duration string `json:"duration"`
+}
+
+// StatsJSON mirrors core.Stats for the wire.
+type StatsJSON struct {
+	Now           string   `json:"now"`
+	Active        int      `json:"active"`
+	Pending       int      `json:"pending"`
+	Down          int      `json:"down"`
+	Restoring     int      `json:"restoring"`
+	Released      int      `json:"released"`
+	InternalConns int      `json:"internal_conns"`
+	ChannelsInUse int      `json:"channels_in_use"`
+	OTsInUse      int      `json:"ots_in_use"`
+	OTsTotal      int      `json:"ots_total"`
+	Pipes         int      `json:"pipes"`
+	SlotsInUse    int      `json:"slots_in_use"`
+	SlotsTotal    int      `json:"slots_total"`
+	DownLinks     []string `json:"down_links,omitempty"`
+}
+
+// EventJSON is one audit-log entry.
+type EventJSON struct {
+	At   string `json:"at"`
+	Conn string `json:"conn,omitempty"`
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+}
+
+// TopologyJSON describes the network for display.
+type TopologyJSON struct {
+	PoPs   []string `json:"pops"`
+	Fibers []string `json:"fibers"`
+	Sites  []string `json:"sites"`
+}
+
+// BillJSON reports a customer's usage bill.
+type BillJSON struct {
+	Customer string  `json:"customer"`
+	GbHours  float64 `json:"gb_hours"`
+}
+
+// ErrorJSON carries an API error.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// MaintenanceJSON reports a maintenance outcome.
+type MaintenanceJSON struct {
+	Link     string   `json:"link"`
+	Rolled   []string `json:"rolled"`
+	Unmoved  []string `json:"unmoved"`
+	Finished bool     `json:"finished"`
+}

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// StoreForward is a NetStitcher-style bulk scheduler over a chain of data
+// centers connected by statically provisioned circuits: data moves hop by hop
+// in time slots, using only each hop's *leftover* capacity (what interactive
+// traffic is not using that slot), and is stored at intermediate sites until
+// the next hop has room. The paper cites this approach ([22]) as the
+// state of the art it takes a different path from.
+type StoreForward struct {
+	// SlotLen is the scheduling granularity.
+	SlotLen time.Duration
+	// Leftover returns the usable bits of capacity on hop h (0-based)
+	// during slot t. Diurnal patterns and time zones live in here.
+	Leftover func(hop, slot int) float64
+	// Hops is the number of circuits between source and destination.
+	Hops int
+	// MaxSlots bounds the search (a transfer not done by then fails).
+	MaxSlots int
+}
+
+// Result describes a scheduled bulk transfer.
+type Result struct {
+	// Slots is the number of slots until the last bit reached the
+	// destination.
+	Slots int
+	// Duration is Slots * SlotLen.
+	Duration time.Duration
+	// PeakBuffered is the largest amount (bits) parked at any
+	// intermediate site at once — the storage requirement.
+	PeakBuffered float64
+}
+
+// Schedule pushes sizeBytes through the chain and returns when the transfer
+// completes. It fails if the transfer does not finish within MaxSlots.
+func (sf StoreForward) Schedule(sizeBytes float64) (Result, error) {
+	if sf.Hops < 1 {
+		return Result{}, fmt.Errorf("baseline: need at least one hop")
+	}
+	if sf.SlotLen <= 0 {
+		return Result{}, fmt.Errorf("baseline: non-positive slot length")
+	}
+	if sf.Leftover == nil {
+		return Result{}, fmt.Errorf("baseline: nil Leftover function")
+	}
+	if sizeBytes <= 0 {
+		return Result{}, fmt.Errorf("baseline: non-positive size")
+	}
+	maxSlots := sf.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 1 << 20
+	}
+
+	bits := sizeBytes * 8
+	// buffer[0] = at source, buffer[Hops] = delivered.
+	buffer := make([]float64, sf.Hops+1)
+	buffer[0] = bits
+	var peak float64
+
+	for t := 0; t < maxSlots; t++ {
+		// Drain from the last hop backwards so data moved this slot
+		// does not traverse two hops in one slot.
+		for h := sf.Hops - 1; h >= 0; h-- {
+			room := sf.Leftover(h, t)
+			if room < 0 {
+				room = 0
+			}
+			m := math.Min(buffer[h], room)
+			buffer[h] -= m
+			buffer[h+1] += m
+		}
+		var buffered float64
+		for i := 1; i < sf.Hops; i++ {
+			buffered += buffer[i]
+		}
+		if buffered > peak {
+			peak = buffered
+		}
+		if buffer[sf.Hops] >= bits-1e-6 {
+			return Result{
+				Slots:        t + 1,
+				Duration:     time.Duration(t+1) * sf.SlotLen,
+				PeakBuffered: peak,
+			}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("baseline: transfer incomplete after %d slots", maxSlots)
+}
+
+// DirectOnly schedules the same transfer WITHOUT store-and-forward: in each
+// slot only min over all hops of the leftover capacity can flow end to end
+// (what you get when intermediate sites cannot buffer). Always at least as
+// slow as Schedule.
+func (sf StoreForward) DirectOnly(sizeBytes float64) (Result, error) {
+	if sf.Hops < 1 || sf.SlotLen <= 0 || sf.Leftover == nil || sizeBytes <= 0 {
+		return Result{}, fmt.Errorf("baseline: bad direct-only inputs")
+	}
+	maxSlots := sf.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 1 << 20
+	}
+	left := sizeBytes * 8
+	for t := 0; t < maxSlots; t++ {
+		room := math.Inf(1)
+		for h := 0; h < sf.Hops; h++ {
+			room = math.Min(room, math.Max(0, sf.Leftover(h, t)))
+		}
+		left -= room
+		if left <= 1e-6 {
+			return Result{Slots: t + 1, Duration: time.Duration(t+1) * sf.SlotLen}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("baseline: transfer incomplete after %d slots", maxSlots)
+}

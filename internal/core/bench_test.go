@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"griphon/internal/bw"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// BenchmarkConnectDisconnect measures one full wavelength lifecycle
+// (admission, reservation, EMS choreography, teardown) in wall time.
+func BenchmarkConnectDisconnect(b *testing.B) {
+	k := sim.NewKernel(1)
+	c, err := New(k, topo.Testbed(), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		conn, job, err := c.Connect(Request{Customer: "b", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+		if job.Err() != nil {
+			b.Fatal(job.Err())
+		}
+		td, err := c.Disconnect("b", conn.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+		if td.Err() != nil {
+			b.Fatal(td.Err())
+		}
+	}
+}
+
+// BenchmarkCutAndRestore measures a cut -> localize -> restore cycle.
+func BenchmarkCutAndRestore(b *testing.B) {
+	k := sim.NewKernel(1)
+	c, err := New(k, topo.Testbed(), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, job, err := c.Connect(Request{Customer: "b", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.Run()
+	if job.Err() != nil {
+		b.Fatal(job.Err())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link := conn.Route().Links[0]
+		if err := c.CutFiber(link); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+		if conn.State != StateActive {
+			b.Fatalf("state = %v", conn.State)
+		}
+		if err := c.RepairFiber(link); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkGroomedCircuit measures sub-wavelength circuit churn once a pipe
+// exists (the electronic-only fast path).
+func BenchmarkGroomedCircuit(b *testing.B) {
+	k := sim.NewKernel(1)
+	c, err := New(k, topo.Testbed(), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed, job, err := c.Connect(Request{Customer: "b", From: "DC-A", To: "DC-B", Rate: bw.Rate1G})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.Run()
+	if job.Err() != nil {
+		b.Fatal(job.Err())
+	}
+	_ = seed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, job, err := c.Connect(Request{Customer: "b", From: "DC-A", To: "DC-B", Rate: bw.Rate1G})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+		if job.Err() != nil {
+			b.Fatal(job.Err())
+		}
+		if _, err := c.Disconnect("b", conn.ID); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"griphon/internal/bw"
+)
+
+func TestBillingAccruesAtRate(t *testing.T) {
+	k, c := newTestbed(t, 130)
+	conn := mustConnect(t, k, c, Request{Customer: "x", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	k.RunFor(10 * time.Hour)
+	got := c.BillGbHours("x")
+	want := 10.0 * 10 // 10G for 10 h
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("bill = %.3f Gb-h, want %.1f", got, want)
+	}
+	// Released connections keep their historical usage.
+	if _, err := c.Disconnect("x", conn.ID); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	k.RunFor(5 * time.Hour)
+	after := c.BillGbHours("x")
+	if math.Abs(after-got) > 0.01 {
+		t.Errorf("bill kept accruing after release: %.3f -> %.3f", got, after)
+	}
+}
+
+func TestBillingExcludesOutage(t *testing.T) {
+	k, c := newTestbed(t, 131)
+	conn := mustConnect(t, k, c, Request{Customer: "x", From: "DC-A", To: "DC-C", Rate: bw.Rate10G, Protect: Unprotected})
+	k.RunFor(2 * time.Hour)
+	c.CutFiber(conn.Route().Links[0])
+	k.RunFor(6 * time.Hour) // down the whole time
+	bill := c.BillGbHours("x")
+	want := 10.0 * 2 // only the 2 pre-cut hours billed
+	if math.Abs(bill-want) > 0.1 {
+		t.Errorf("bill = %.2f Gb-h, want %.1f (outage unbilled)", bill, want)
+	}
+	c.RepairFiber(conn.Route().Links[0])
+	k.RunFor(1 * time.Hour)
+	bill = c.BillGbHours("x")
+	want = 10.0 * 3 // billing resumed after revival
+	if math.Abs(bill-want) > 0.1 {
+		t.Errorf("bill after repair = %.2f, want ~%.1f", bill, want)
+	}
+}
+
+func TestBillingFollowsAdjustedRate(t *testing.T) {
+	k, c := newTestbed(t, 132)
+	conn := mustConnect(t, k, c, Request{Customer: "x", From: "DC-A", To: "DC-B", Rate: bw.Rate1G})
+	k.RunFor(4 * time.Hour) // 4 Gb-h at 1G
+	job, err := c.AdjustRate("x", conn.ID, bw.Rate2G5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if job.Err() != nil {
+		t.Fatal(job.Err())
+	}
+	k.RunFor(4 * time.Hour) // 10 Gb-h at 2.5G
+	bill := c.BillGbHours("x")
+	want := 1.0*4 + 2.5*4
+	if math.Abs(bill-want) > 0.05 {
+		t.Errorf("bill = %.2f Gb-h, want %.1f", bill, want)
+	}
+}
+
+func TestBillingPerCustomerAndInternalFree(t *testing.T) {
+	k, c := newTestbed(t, 133)
+	mustConnect(t, k, c, Request{Customer: "a", From: "DC-A", To: "DC-B", Rate: bw.Rate1G})
+	mustConnect(t, k, c, Request{Customer: "b", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	// Measure one clean hour (the two setups finished at different
+	// times, so compare deltas, not totals).
+	a0, b0 := c.BillGbHours("a"), c.BillGbHours("b")
+	k.RunFor(time.Hour)
+	billA := c.BillGbHours("a") - a0
+	billB := c.BillGbHours("b") - b0
+	if math.Abs(billA-1) > 0.01 || math.Abs(billB-10) > 0.01 {
+		t.Errorf("bills: a=%.2f b=%.2f", billA, billB)
+	}
+	// The carrier's own pipe wavelength (supporting a's OTN circuit) is
+	// not billed to anyone.
+	if got := c.BillGbHours(CarrierCustomer); got != 0 {
+		t.Errorf("carrier billed %.2f to itself", got)
+	}
+}
+
+func TestBillingIgnoresRollHit(t *testing.T) {
+	k, c := newTestbed(t, 134)
+	conn := mustConnect(t, k, c, Request{Customer: "x", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	k.RunFor(time.Hour)
+	job, err := c.BridgeAndRoll("x", conn.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if job.Err() != nil {
+		t.Fatal(job.Err())
+	}
+	k.RunFor(time.Hour)
+	bill := c.BillGbHours("x")
+	// Two hours of 10G minus a ~25 ms roll hit plus the bridge build time
+	// (~1 min, still billed: traffic flows on the old path during it).
+	if bill < 19.5 || bill > 20.5 {
+		t.Errorf("bill = %.3f Gb-h, want ~20", bill)
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"griphon/internal/alarms"
+	"griphon/internal/bw"
+	"griphon/internal/ems"
+	"griphon/internal/fxc"
+	"griphon/internal/inventory"
+	"griphon/internal/optics"
+	"griphon/internal/otn"
+	"griphon/internal/roadm"
+	"griphon/internal/rwa"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// Config tunes a controller. Zero fields take defaults.
+type Config struct {
+	// Optics sizes the photonic plant (DefaultConfig if zero).
+	Optics optics.Config
+	// Latencies is the EMS latency table (ems.Default if zero).
+	Latencies ems.Latencies
+	// RWA tunes route search.
+	RWA rwa.Options
+	// CorrelationWindow batches alarms of one failure event.
+	CorrelationWindow sim.Duration
+	// AutoRepair dispatches a repair crew automatically on every fiber
+	// cut (crew time drawn from Latencies.FiberRepair).
+	AutoRepair bool
+	// AutoRevert re-grooms restored connections back onto their best path
+	// after a repair, via bridge-and-roll (the paper's "reversion
+	// following a failure restoration").
+	AutoRevert bool
+	// FXCClientPorts and FXCLinePorts size each PoP's fiber
+	// cross-connect (defaults 16/16; groom ports always 16).
+	FXCClientPorts int
+	FXCLinePorts   int
+	// AddDropPorts sizes each ROADM's colorless/directionless add-drop
+	// bank. Default: one port per transponder plus two per regenerator,
+	// so the transponder pool is the binding constraint.
+	AddDropPorts int
+}
+
+// Controller is the GRIPhoN controller: the only component that talks to the
+// network elements, always through their EMSes, and the keeper of the
+// resource database.
+type Controller struct {
+	k      *sim.Kernel
+	g      *topo.Graph
+	plant  *optics.Plant
+	fabric *otn.Fabric
+	roadms *roadm.Layer
+	fxcs   map[topo.NodeID]*fxc.Switch
+	lat    ems.Latencies
+	rwaOpt rwa.Options
+	ledger *inventory.Ledger
+
+	roadmEMS *ems.Manager
+	otnEMS   *ems.Manager
+	fxcEMS   map[topo.NodeID]*ems.Manager
+
+	conns      map[ConnID]*Connection
+	nextConn   int
+	lpSeq      int
+	accessUsed map[topo.SiteID]bw.Rate
+
+	correlator *alarms.Correlator
+	autoRepair bool
+	autoRevert bool
+	repairing  map[topo.LinkID]bool
+
+	events []Event
+
+	// pipeCarrier maps an OTN pipe to the internal wavelength connection
+	// that carries it.
+	pipeCarrier map[otn.PipeID]ConnID
+	// pendingPipes tracks in-flight pipe builds by canonical node pair so
+	// concurrent circuit setups share them.
+	pendingPipes map[string]*sim.Job
+}
+
+// New builds a controller over the given topology.
+func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	ocfg := cfg.Optics
+	if ocfg.Channels == 0 && ocfg.ReachKM == 0 {
+		ocfg = optics.DefaultConfig()
+	}
+	plant, err := optics.NewPlant(g, ocfg)
+	if err != nil {
+		return nil, err
+	}
+	lat := cfg.Latencies
+	if lat.ControllerOverhead == 0 && lat.LaserTune == 0 {
+		lat = ems.Default()
+	}
+	nClient, nLine := cfg.FXCClientPorts, cfg.FXCLinePorts
+	if nClient <= 0 {
+		nClient = 16
+	}
+	if nLine <= 0 {
+		nLine = 16
+	}
+	window := cfg.CorrelationWindow
+	if window <= 0 {
+		window = time.Second
+	}
+	rwaOpt := cfg.RWA
+	if rwaOpt.Rand == nil {
+		rwaOpt.Rand = k.Rand()
+	}
+	addDrop := cfg.AddDropPorts
+	if addDrop <= 0 {
+		addDrop = ocfg.OTsPerNode + 2*ocfg.RegensPerNode
+		if addDrop <= 0 {
+			addDrop = 16
+		}
+	}
+	roadms, err := roadm.NewLayer(g, addDrop)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Controller{
+		k:            k,
+		g:            g,
+		plant:        plant,
+		fabric:       otn.FabricFrom(g),
+		roadms:       roadms,
+		fxcs:         make(map[topo.NodeID]*fxc.Switch),
+		lat:          lat,
+		rwaOpt:       rwaOpt,
+		ledger:       inventory.NewLedger(),
+		roadmEMS:     ems.NewManager("roadm-ems", k),
+		otnEMS:       ems.NewManager("otn-ems", k),
+		fxcEMS:       make(map[topo.NodeID]*ems.Manager),
+		conns:        make(map[ConnID]*Connection),
+		accessUsed:   make(map[topo.SiteID]bw.Rate),
+		autoRepair:   cfg.AutoRepair,
+		autoRevert:   cfg.AutoRevert,
+		repairing:    make(map[topo.LinkID]bool),
+		pipeCarrier:  make(map[otn.PipeID]ConnID),
+		pendingPipes: make(map[string]*sim.Job),
+	}
+	for _, n := range g.Nodes() {
+		c.fxcs[n.ID] = fxc.Standard(n.ID, nClient, nLine, 16)
+		c.fxcEMS[n.ID] = ems.NewManager(fmt.Sprintf("fxc-ctl-%s", n.ID), k)
+	}
+	c.correlator = alarms.NewCorrelator(k, window, c.onAlarmBatch)
+	return c, nil
+}
+
+// Kernel returns the controller's simulation kernel.
+func (c *Controller) Kernel() *sim.Kernel { return c.k }
+
+// Graph returns the topology.
+func (c *Controller) Graph() *topo.Graph { return c.g }
+
+// Plant returns the photonic plant.
+func (c *Controller) Plant() *optics.Plant { return c.plant }
+
+// Fabric returns the OTN overlay.
+func (c *Controller) Fabric() *otn.Fabric { return c.fabric }
+
+// ROADMs returns the ROADM-layer switching state.
+func (c *Controller) ROADMs() *roadm.Layer { return c.roadms }
+
+// ROADMEMS returns the ROADM vendor EMS (exposed for queue inspection and
+// fault injection).
+func (c *Controller) ROADMEMS() *ems.Manager { return c.roadmEMS }
+
+// OTNEMS returns the OTN vendor EMS.
+func (c *Controller) OTNEMS() *ems.Manager { return c.otnEMS }
+
+// Ledger returns the customer ledger (quotas, isolation).
+func (c *Controller) Ledger() *inventory.Ledger { return c.ledger }
+
+// Latencies returns the EMS latency table in force.
+func (c *Controller) Latencies() ems.Latencies { return c.lat }
+
+// FXC returns the fiber cross-connect at a PoP (nil if unknown).
+func (c *Controller) FXC(n topo.NodeID) *fxc.Switch { return c.fxcs[n] }
+
+// Conn returns a connection by ID, or nil.
+func (c *Controller) Conn(id ConnID) *Connection { return c.conns[id] }
+
+// Connections returns all connections (including released and internal),
+// sorted by ID.
+func (c *Controller) Connections() []*Connection {
+	out := make([]*Connection, 0, len(c.conns))
+	for _, conn := range c.conns {
+		out = append(out, conn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CustomerConnections returns cust's non-internal connections sorted by ID —
+// what the customer GUI shows.
+func (c *Controller) CustomerConnections(cust inventory.Customer) []*Connection {
+	var out []*Connection
+	for _, conn := range c.Connections() {
+		if conn.Customer == cust && !conn.Internal {
+			out = append(out, conn)
+		}
+	}
+	return out
+}
+
+// Events returns the audit log (oldest first).
+func (c *Controller) Events() []Event { return append([]Event(nil), c.events...) }
+
+// EventsFor returns the audit entries mentioning a connection.
+func (c *Controller) EventsFor(id ConnID) []Event {
+	var out []Event
+	for _, e := range c.events {
+		if e.Conn == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (c *Controller) log(conn ConnID, kind, format string, args ...any) {
+	c.events = append(c.events, Event{
+		At:   c.k.Now(),
+		Conn: conn,
+		Kind: kind,
+		Text: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *Controller) newConnID() ConnID {
+	id := ConnID(fmt.Sprintf("C%04d", c.nextConn))
+	c.nextConn++
+	return id
+}
+
+// BillGbHours returns the customer's cumulative delivered gigabit-hours —
+// the BoD billing unit: usage-based instead of calendar-based, with outages
+// excluded. Internal carrier connections are never billed.
+func (c *Controller) BillGbHours(cust inventory.Customer) float64 {
+	now := c.k.Now()
+	var total float64
+	for _, conn := range c.conns {
+		if conn.Customer != cust || conn.Internal {
+			continue
+		}
+		total += conn.UsageGbHours(now)
+	}
+	return total
+}
+
+// ProbeRoute dry-runs route-and-wavelength assignment between two PoPs at
+// the given rate without reserving anything — the planning/what-if query the
+// GUI and experiments use. The returned route reflects current spectrum and
+// failure state.
+func (c *Controller) ProbeRoute(a, b topo.NodeID, rate bw.Rate) (rwa.Route, error) {
+	opt := c.rwaOpt
+	opt.Rate = rate
+	return rwa.FindRoute(c.plant, a, b, opt)
+}
+
+// AccessUsed returns the bandwidth currently consumed on a site's access
+// pipe.
+func (c *Controller) AccessUsed(s topo.SiteID) bw.Rate { return c.accessUsed[s] }
+
+// jit applies the configured jitter to a latency table entry.
+func (c *Controller) jit(d sim.Duration) sim.Duration {
+	return c.lat.Jitter(c.k.Rand(), d)
+}
+
+// siteHome resolves a site and its home PoP.
+func (c *Controller) siteHome(id topo.SiteID) (*topo.Site, error) {
+	s := c.g.Site(id)
+	if s == nil {
+		return nil, fmt.Errorf("core: unknown site %s", id)
+	}
+	return s, nil
+}
+
+// reserveAccess admits rate onto both sites' access pipes, or fails without
+// partial effect.
+func (c *Controller) reserveAccess(a, b *topo.Site, rate bw.Rate) error {
+	if c.accessUsed[a.ID]+rate > bw.GbpsOf(a.AccessGbps) {
+		return fmt.Errorf("core: site %s access pipe full (%v of %vG in use)", a.ID, c.accessUsed[a.ID], a.AccessGbps)
+	}
+	if c.accessUsed[b.ID]+rate > bw.GbpsOf(b.AccessGbps) {
+		return fmt.Errorf("core: site %s access pipe full (%v of %vG in use)", b.ID, c.accessUsed[b.ID], b.AccessGbps)
+	}
+	c.accessUsed[a.ID] += rate
+	c.accessUsed[b.ID] += rate
+	return nil
+}
+
+func (c *Controller) releaseAccess(a, b topo.SiteID, rate bw.Rate) {
+	c.accessUsed[a] -= rate
+	c.accessUsed[b] -= rate
+}

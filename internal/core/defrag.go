@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"griphon/internal/ems"
+	"griphon/internal/sim"
+)
+
+// DefragmentSpectrum re-tunes active wavelengths down to the lowest channels
+// free on their own paths. Months of connection churn leave the spectrum
+// fragmented — high channels busy, low channels free in non-aligned patterns
+// — which blocks future first-fit assignments; periodic defragmentation is
+// standard carrier practice and a natural companion to the paper's §4
+// re-grooming. Each move is a retune on the same path (no bridge needed):
+// reserve the lower channel, reprogram the ROADMs, brief re-tune hit, release
+// the old channel. It returns a job completing when all retunes finish and
+// the number of connections moved.
+func (c *Controller) DefragmentSpectrum() (*sim.Job, int) {
+	var jobs []*sim.Job
+	moved := 0
+	for _, conn := range c.Connections() {
+		if conn.Layer != LayerDWDM || conn.State != StateActive {
+			continue
+		}
+		if c.retuneDown(conn) {
+			moved++
+			jobs = append(jobs, c.retuneJob(conn))
+		}
+	}
+	return sim.All(c.k, jobs...), moved
+}
+
+// retuneDown moves every segment of conn's working lightpath to the lowest
+// common free channel below its current one. It mutates resource state
+// synchronously and reports whether anything moved.
+func (c *Controller) retuneDown(conn *Connection) bool {
+	lp := conn.working()
+	if lp == nil {
+		return false
+	}
+	movedAny := false
+	for i, seg := range lp.route.Plan.Segments {
+		cur := lp.route.Channels[i]
+		free := c.plant.ContinuityChannels(seg.Links)
+		if len(free) == 0 || free[0] >= cur {
+			continue
+		}
+		target := free[0]
+		// Reserve the new channel on every link of the segment.
+		ok := true
+		for j, link := range seg.Links {
+			if err := c.plant.Spectrum(link).Reserve(target, string(conn.ID)); err != nil {
+				for _, undo := range seg.Links[:j] {
+					c.plant.Spectrum(undo).Release(target) //nolint:errcheck // rollback
+				}
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Re-point the ROADM layer at the new channel.
+		owner := lp.segOwners[i]
+		nodes := lp.segNodes[i]
+		c.roadms.ReleaseSegment(nodes, owner)
+		if err := c.roadms.ConfigureSegment(nodes, seg.Links, target, owner); err != nil {
+			// Restore the old configuration (ports were just freed,
+			// so this cannot fail) and drop the new spectrum.
+			c.roadms.ConfigureSegment(nodes, seg.Links, cur, owner) //nolint:errcheck // restoring freed state
+			for _, link := range seg.Links {
+				c.plant.Spectrum(link).Release(target) //nolint:errcheck // rollback
+			}
+			continue
+		}
+		// Release the old channel.
+		for _, link := range seg.Links {
+			c.plant.Spectrum(link).Release(cur) //nolint:errcheck // owned
+		}
+		c.log(conn.ID, "retune", "segment %d channel %d -> %d", i, cur, target)
+		lp.route.Channels[i] = target
+		movedAny = true
+	}
+	return movedAny
+}
+
+// retuneJob models the EMS work and brief hit of re-tuning a live wavelength.
+func (c *Controller) retuneJob(conn *Connection) *sim.Job {
+	out := c.k.NewJob()
+	hit := c.jit(c.lat.ProtectionSwitch)
+	conn.beginOutage(c.k.Now())
+	c.k.After(hit, func() {
+		conn.endOutage(c.k.Now())
+		c.roadmEMS.SubmitBatch([]ems.Command{
+			{Name: fmt.Sprintf("defrag-retune:%s", conn.ID), Dur: c.jit(c.lat.LaserTune)},
+			{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd)},
+		}).OnDone(func(err error) { out.Complete(err) })
+	})
+	return out
+}
+
+// MaxChannelInUse returns the highest occupied channel across the plant (0
+// when the spectrum is empty) — the defragmentation experiment's metric.
+func (c *Controller) MaxChannelInUse() int {
+	max := 0
+	for _, l := range c.g.Links() {
+		used := c.plant.Spectrum(l.ID).UsedChannels()
+		if len(used) > 0 && int(used[len(used)-1]) > max {
+			max = int(used[len(used)-1])
+		}
+	}
+	return max
+}

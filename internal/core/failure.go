@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"griphon/internal/alarms"
+	"griphon/internal/otn"
+	"griphon/internal/topo"
+)
+
+// CutFiber fails a fiber link: every wavelength on it loses light, affected
+// connections alarm, and — per the paper's automation story — detection,
+// localization and restoration proceed without operator involvement. With
+// Config.AutoRepair a repair crew is dispatched automatically (4–12 h).
+func (c *Controller) CutFiber(link topo.LinkID) error {
+	l := c.g.Link(link)
+	if l == nil {
+		return fmt.Errorf("core: unknown link %s", link)
+	}
+	if !c.plant.LinkUp(link) {
+		return fmt.Errorf("core: link %s is already down", link)
+	}
+	c.plant.SetLinkUp(link, false)
+	c.log("", "fiber-cut", "link %s cut", link)
+
+	for _, conn := range c.Connections() {
+		c.hitByCut(conn, link)
+	}
+
+	if c.autoRepair && !c.repairing[link] {
+		c.repairing[link] = true
+		crew := c.lat.FiberRepair(c.k.Rand())
+		c.log("", "repair-dispatch", "crew for %s, ETA %v", link, crew)
+		c.k.After(crew, func() { c.RepairFiber(link) }) //nolint:errcheck // best-effort auto repair
+	}
+	return nil
+}
+
+// hitByCut applies a fiber cut to one connection.
+func (c *Controller) hitByCut(conn *Connection, link topo.LinkID) {
+	if conn.Layer != LayerDWDM {
+		return // OTN circuits fail via their pipes, handled below
+	}
+	if conn.State != StateActive {
+		return
+	}
+	lp := conn.working()
+	if lp == nil || !lp.route.Path.HasLink(link) {
+		// A 1+1 standby leg can die while traffic rides the other leg;
+		// traffic is unaffected but the loss is worth surfacing.
+		if conn.Protect == OnePlusOne {
+			standby := conn.protect
+			if conn.onProtect {
+				standby = conn.path
+			}
+			if standby != nil && standby.route.Path.HasLink(link) {
+				c.log(conn.ID, "standby-hit", "standby leg lost on %s", link)
+			}
+		}
+		return
+	}
+
+	if conn.Protect == OnePlusOne {
+		c.protectionSwitch(conn)
+		return
+	}
+
+	conn.beginOutage(c.k.Now())
+	conn.State = StateDown
+	c.log(conn.ID, "down", "working path lost on %s", link)
+	c.failCarriedPipe(conn)
+
+	// LOS alarms from both terminating ROADMs reach the controller after
+	// the alarm latency and enter the correlation window.
+	path := lp.route.Path
+	c.k.After(c.jit(c.lat.AlarmLatency), func() {
+		c.correlator.Observe(alarms.Alarm{
+			At: c.k.Now(), Node: path.Src(), Conn: string(conn.ID),
+			Type: alarms.LOS, Detail: "loss of light",
+		})
+		c.correlator.Observe(alarms.Alarm{
+			At: c.k.Now(), Node: path.Dst(), Conn: string(conn.ID),
+			Type: alarms.LOS, Detail: "loss of light",
+		})
+	})
+}
+
+// protectionSwitch performs the autonomous 1+1 tail-end switch: if the other
+// leg is healthy, traffic moves to it in ~50 ms with no controller handshake.
+func (c *Controller) protectionSwitch(conn *Connection) {
+	var target *lightpath
+	if conn.onProtect {
+		target = conn.path
+	} else {
+		target = conn.protect
+	}
+	conn.beginOutage(c.k.Now())
+	if target == nil || !c.plant.PathUp(target.route.Path) {
+		conn.State = StateDown
+		c.log(conn.ID, "down", "both 1+1 legs lost")
+		c.failCarriedPipe(conn)
+		return
+	}
+	c.k.After(c.jit(c.lat.ProtectionSwitch), func() {
+		if conn.State != StateActive && conn.State != StateDown {
+			return
+		}
+		conn.onProtect = !conn.onProtect
+		conn.State = StateActive
+		conn.endOutage(c.k.Now())
+		c.log(conn.ID, "protect-switch", "traffic on %s leg", map[bool]string{true: "protect", false: "working"}[conn.onProtect])
+	})
+}
+
+// failCarriedPipe propagates a carrier wavelength failure into the OTN layer.
+func (c *Controller) failCarriedPipe(conn *Connection) {
+	if !conn.Internal || conn.carries == "" {
+		return
+	}
+	pipe := c.fabric.Pipe(conn.carries)
+	if pipe == nil || !pipe.Up() {
+		return
+	}
+	pipe.SetUp(false)
+	c.log(conn.ID, "pipe-down", "pipe %s lost its wavelength", pipe.ID())
+	for _, circuit := range c.circuitsOnPipe(pipe.ID()) {
+		c.failCircuit(circuit, pipe.ID())
+	}
+}
+
+// failCircuit handles an OTN circuit losing one of its pipes: shared-mesh
+// activation when a backup exists (sub-second), otherwise the circuit waits
+// for the pipe to be restored.
+func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
+	if conn.State != StateActive {
+		return
+	}
+	conn.beginOutage(c.k.Now())
+	conn.State = StateDown
+	c.log(conn.ID, "down", "pipe %s failed", pipe)
+
+	if len(conn.backup) == 0 {
+		return // wait for DWDM-layer restoration of the pipe
+	}
+	// Backup must itself be alive.
+	for _, p := range conn.backup {
+		if !p.Up() {
+			c.log(conn.ID, "restore-blocked", "shared-mesh backup pipe %s also down", p.ID())
+			return
+		}
+	}
+	detect := c.jit(c.lat.OTNDetect)
+	c.k.After(detect, func() {
+		if conn.State != StateDown {
+			return
+		}
+		if err := otn.ActivatePath(conn.backup, string(conn.ID)); err != nil {
+			c.log(conn.ID, "restore-blocked", "shared-mesh activation failed: %v", err)
+			return
+		}
+		// Reprogram the switches along the backup (sub-second total).
+		nSwitches := len(conn.backup) + 1
+		total := c.jit(time.Duration(nSwitches) * c.lat.OTNActivatePerSwitch)
+		c.k.After(total, func() {
+			if conn.State != StateDown {
+				return
+			}
+			otn.ReleasePath(conn.pipes, string(conn.ID)) //nolint:errcheck // leaving old path
+			conn.pipes = conn.backup
+			conn.backup = nil
+			conn.State = StateActive
+			conn.endOutage(c.k.Now())
+			conn.Restorations++
+			c.log(conn.ID, "restored", "shared-mesh restoration in %v", conn.TotalOutage)
+		})
+	})
+}
+
+// RepairFiber returns a link to service and revives connections whose
+// working path is whole again (the "wait for repair" recovery of unprotected
+// services, and restore-mode connections that found no alternate capacity).
+func (c *Controller) RepairFiber(link topo.LinkID) error {
+	l := c.g.Link(link)
+	if l == nil {
+		return fmt.Errorf("core: unknown link %s", link)
+	}
+	if c.plant.LinkUp(link) {
+		return fmt.Errorf("core: link %s is not down", link)
+	}
+	c.plant.SetLinkUp(link, true)
+	delete(c.repairing, link)
+	c.log("", "repair", "link %s repaired", link)
+
+	for _, conn := range c.Connections() {
+		if conn.State != StateDown {
+			continue
+		}
+		switch conn.Layer {
+		case LayerDWDM:
+			lp := conn.working()
+			if lp != nil && c.plant.PathUp(lp.route.Path) {
+				conn.State = StateActive
+				conn.endOutage(c.k.Now())
+				c.log(conn.ID, "revived", "working path whole again after repair")
+				c.revivePipe(conn)
+				continue
+			}
+			// A 1+1 connection revives on whichever leg is whole.
+			if conn.Protect == OnePlusOne {
+				other := conn.protect
+				if conn.onProtect {
+					other = conn.path
+				}
+				if other != nil && c.plant.PathUp(other.route.Path) {
+					conn.onProtect = !conn.onProtect
+					conn.State = StateActive
+					conn.endOutage(c.k.Now())
+					c.log(conn.ID, "revived", "switched to repaired leg")
+				}
+			}
+		case LayerOTN:
+			c.reviveCircuitIfWhole(conn)
+		}
+	}
+
+	if c.autoRevert {
+		// Reversion: restored connections sitting on detour paths move
+		// back to the best route via bridge-and-roll (paper §2.2).
+		for _, conn := range c.Connections() {
+			if conn.Layer != LayerDWDM || conn.State != StateActive || conn.Protect != Restore {
+				continue
+			}
+			if conn.Restorations == 0 && conn.Rolls == 0 {
+				continue // never moved; nothing to revert
+			}
+			if moved, _, err := c.regroom(conn); err == nil && moved {
+				c.log(conn.ID, "revert", "moving back after repair of %s", link)
+			}
+		}
+	}
+	return nil
+}
+
+// revivePipe brings a carrier connection's pipe back and revives circuits.
+func (c *Controller) revivePipe(conn *Connection) {
+	if !conn.Internal || conn.carries == "" {
+		return
+	}
+	pipe := c.fabric.Pipe(conn.carries)
+	if pipe == nil || pipe.Up() {
+		return
+	}
+	pipe.SetUp(true)
+	c.log(conn.ID, "pipe-up", "pipe %s back in service", pipe.ID())
+	for _, circuit := range c.circuitsOnPipe(pipe.ID()) {
+		c.reviveCircuitIfWhole(circuit)
+	}
+}
+
+// reviveCircuitIfWhole returns a down OTN circuit to service when every pipe
+// it rides is up again.
+func (c *Controller) reviveCircuitIfWhole(conn *Connection) {
+	if conn.State != StateDown {
+		return
+	}
+	for _, p := range conn.pipes {
+		if !p.Up() {
+			return
+		}
+	}
+	conn.State = StateActive
+	conn.endOutage(c.k.Now())
+	c.log(conn.ID, "revived", "all pipes whole again")
+}
+
+// onAlarmBatch is the correlation-window sink: localize the fault, then
+// launch automated restoration for every restorable connection in the batch.
+func (c *Controller) onAlarmBatch(batch []alarms.Alarm) {
+	seen := map[ConnID]bool{}
+	var alarmedConns []*Connection
+	for _, a := range batch {
+		id := ConnID(a.Conn)
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if conn := c.conns[id]; conn != nil {
+			alarmedConns = append(alarmedConns, conn)
+		}
+	}
+
+	var alarmedPaths, healthyPaths []topo.Path
+	for _, conn := range alarmedConns {
+		if lp := conn.working(); lp != nil {
+			alarmedPaths = append(alarmedPaths, lp.route.Path)
+		}
+	}
+	for _, conn := range c.Connections() {
+		if conn.Layer == LayerDWDM && conn.State == StateActive {
+			if lp := conn.working(); lp != nil {
+				healthyPaths = append(healthyPaths, lp.route.Path)
+			}
+		}
+	}
+	suspects := alarms.PrimarySuspects(alarms.Localize(alarmedPaths, healthyPaths))
+	c.log("", "localized", "%d alarms -> suspects %v", len(batch), suspects)
+
+	c.k.After(c.jit(c.lat.Localize), func() {
+		for _, conn := range alarmedConns {
+			if conn.State == StateDown && conn.Protect == Restore {
+				c.startRestoration(conn, suspects)
+			}
+		}
+	})
+}
+
+// startRestoration re-provisions a down connection onto a new route that
+// avoids the suspect links, reusing its terminating OTs and FXC ports. The
+// new path needs the full wavelength-setup choreography, so restoration takes
+// on the order of a setup time — minutes, not the hours of manual repair
+// (paper Table 1).
+func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) {
+	old := conn.working()
+	if old == nil {
+		return
+	}
+	avoid := map[topo.LinkID]bool{}
+	for _, l := range suspects {
+		avoid[l] = true
+	}
+	a, b := old.route.Path.Src(), old.route.Path.Dst()
+	newlp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, old, false)
+	if err != nil {
+		c.log(conn.ID, "restore-blocked", "no restoration path: %v", err)
+		return // stays Down; revived on repair
+	}
+	conn.State = StateRestoring
+	c.log(conn.ID, "restore-start", "re-provisioning onto %s", newlp.route.Path)
+
+	c.lightpathSetupJob(newlp).OnDone(func(err error) {
+		if conn.State != StateRestoring {
+			// Torn down mid-restoration; return the new resources.
+			c.releaseLightpathMiddle(newlp)
+			return
+		}
+		if err != nil {
+			c.releaseLightpathMiddle(newlp)
+			conn.State = StateDown
+			c.log(conn.ID, "restore-blocked", "EMS failure: %v", err)
+			return
+		}
+		if !c.plant.PathUp(newlp.route.Path) {
+			// The restoration path itself was cut while being built.
+			c.releaseLightpathMiddle(newlp)
+			conn.State = StateDown
+			c.log(conn.ID, "restore-blocked", "restoration path failed during setup")
+			return
+		}
+		c.releaseLightpathMiddle(old)
+		conn.path = newlp
+		conn.onProtect = false
+		conn.State = StateActive
+		conn.endOutage(c.k.Now())
+		conn.Restorations++
+		c.log(conn.ID, "restored", "outage %v", conn.TotalOutage)
+		c.revivePipe(conn)
+	})
+}

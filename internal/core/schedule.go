@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"griphon/internal/sim"
+)
+
+// Booking is a calendar reservation for future bandwidth: the BoD pattern the
+// paper's motivating workload implies (nightly replication windows). At the
+// booked time the controller provisions the service; after the hold it tears
+// it down again. The carrier gains exactly the planning visibility §4 asks
+// for.
+type Booking struct {
+	Req  Request
+	At   sim.Time
+	Hold sim.Duration
+
+	// Conns holds the provisioned components once setup starts.
+	Conns []*Connection
+	// SetupErr records a failed provisioning attempt.
+	SetupErr error
+	// Done completes when every component has been released (or setup
+	// failed).
+	Done *sim.Job
+}
+
+// ScheduleConnect books req for a window starting at `at` and lasting `hold`.
+// Validation of sites/rate happens now; resource admission happens when the
+// window opens (booked resources are not idle-reserved — the pool stays
+// shared, which is the entire BoD economics).
+func (c *Controller) ScheduleConnect(req Request, at sim.Time, hold sim.Duration) (*Booking, error) {
+	if req.Customer == "" {
+		return nil, fmt.Errorf("core: empty customer")
+	}
+	if _, err := PlaceRate(req.Rate); err != nil {
+		return nil, err
+	}
+	if _, err := c.siteHome(req.From); err != nil {
+		return nil, err
+	}
+	if _, err := c.siteHome(req.To); err != nil {
+		return nil, err
+	}
+	if at.Before(c.k.Now()) {
+		return nil, fmt.Errorf("core: booking time %v is in the past", at)
+	}
+	if hold <= 0 {
+		return nil, fmt.Errorf("core: non-positive hold %v", hold)
+	}
+
+	b := &Booking{Req: req, At: at, Hold: hold, Done: c.k.NewJob()}
+	c.k.At(at, func() { c.openBooking(b) })
+	c.log("", "booking", "%s %s->%s %v at %v for %v", req.Customer, req.From, req.To, req.Rate, at, hold)
+	return b, nil
+}
+
+func (c *Controller) openBooking(b *Booking) {
+	conns, job, err := c.ConnectComposite(b.Req)
+	if err != nil {
+		b.SetupErr = err
+		c.log("", "booking-blocked", "%s %s->%s %v: %v", b.Req.Customer, b.Req.From, b.Req.To, b.Req.Rate, err)
+		b.Done.Complete(err)
+		return
+	}
+	b.Conns = conns
+	job.OnDone(func(err error) {
+		if err != nil {
+			b.SetupErr = err
+			b.Done.Complete(err)
+			return
+		}
+		c.k.After(b.Hold, func() { c.closeBooking(b) })
+	})
+}
+
+func (c *Controller) closeBooking(b *Booking) {
+	var jobs []*sim.Job
+	for _, conn := range b.Conns {
+		if conn.State != StateActive && conn.State != StateDown {
+			continue
+		}
+		job, err := c.Disconnect(b.Req.Customer, conn.ID)
+		if err != nil {
+			continue
+		}
+		jobs = append(jobs, job)
+	}
+	sim.All(c.k, jobs...).OnDone(func(err error) { b.Done.Complete(err) })
+}

@@ -1,0 +1,577 @@
+package core
+
+import (
+	"fmt"
+
+	"griphon/internal/bw"
+	"griphon/internal/ems"
+	"griphon/internal/fxc"
+	"griphon/internal/inventory"
+	"griphon/internal/optics"
+	"griphon/internal/otn"
+	"griphon/internal/rwa"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// CarrierCustomer owns internal connections (OTN pipe carriers).
+const CarrierCustomer inventory.Customer = "carrier"
+
+// Request asks for one connection between two data-center sites.
+type Request struct {
+	Customer inventory.Customer
+	From, To topo.SiteID
+	Rate     bw.Rate
+	// Protect defaults to Restore for wavelengths; OTN circuits get
+	// SharedMesh (their native scheme) unless explicitly Unprotected.
+	Protect Protection
+}
+
+// ErrUseComposite is returned by Connect for rates that need both layers;
+// callers should use ConnectComposite (or the service layer does).
+var ErrUseComposite = fmt.Errorf("core: rate needs a composite (multi-connection) service")
+
+// PlaceRate implements the Fig. 2 service placement: where a guaranteed-
+// bandwidth request of the given rate lands. It returns the component rates
+// of the decomposition (a single element when one connection suffices).
+// Requests below 1G belong to the IP/EVC layer, which GRIPhoN does not carry.
+func PlaceRate(rate bw.Rate) ([]bw.Rate, error) {
+	switch {
+	case rate <= 0:
+		return nil, fmt.Errorf("core: non-positive rate %v", rate)
+	case rate < bw.Rate1G:
+		return nil, fmt.Errorf("core: rate %v belongs to the IP/EVC layer (below 1G)", rate)
+	case rate < bw.Rate10G:
+		return []bw.Rate{rate}, nil // single OTN circuit
+	case rate == bw.Rate10G || rate == bw.Rate40G:
+		return []bw.Rate{rate}, nil // single wavelength
+	}
+	// Composite: whole wavelengths greedily, then 1G OTN circuits for the
+	// remainder (paper §2.2's example: 12G = one 10G wavelength + 2x1G).
+	var parts []bw.Rate
+	rem := rate
+	for rem >= bw.Rate40G {
+		parts = append(parts, bw.Rate40G)
+		rem -= bw.Rate40G
+	}
+	for rem >= bw.Rate10G {
+		parts = append(parts, bw.Rate10G)
+		rem -= bw.Rate10G
+	}
+	for rem > 0 {
+		parts = append(parts, bw.Rate1G)
+		rem -= bw.Rate1G
+	}
+	return parts, nil
+}
+
+// layerFor returns the realization layer for a single component rate.
+func layerFor(rate bw.Rate) Layer {
+	if rate == bw.Rate10G || rate == bw.Rate40G {
+		return LayerDWDM
+	}
+	return LayerOTN
+}
+
+// Connect provisions a single connection. It performs admission and resource
+// reservation synchronously — a blocked request fails immediately, with
+// nothing leaked — and returns the pending connection plus the job that
+// completes when EMS configuration finishes and the connection is Active.
+func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
+	if req.Customer == "" {
+		return nil, nil, fmt.Errorf("core: empty customer")
+	}
+	parts, err := PlaceRate(req.Rate)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(parts) > 1 {
+		return nil, nil, fmt.Errorf("%w: %v -> %v", ErrUseComposite, req.Rate, parts)
+	}
+	siteA, err := c.siteHome(req.From)
+	if err != nil {
+		return nil, nil, err
+	}
+	siteB, err := c.siteHome(req.To)
+	if err != nil {
+		return nil, nil, err
+	}
+	if siteA.ID == siteB.ID {
+		return nil, nil, fmt.Errorf("core: source and destination site are both %s", siteA.ID)
+	}
+	if siteA.Home == siteB.Home {
+		return nil, nil, fmt.Errorf("core: sites %s and %s share home PoP %s; no core connection needed", siteA.ID, siteB.ID, siteA.Home)
+	}
+
+	layer := layerFor(req.Rate)
+	protect := req.Protect
+	switch layer {
+	case LayerDWDM:
+		if protect == SharedMesh {
+			return nil, nil, fmt.Errorf("core: shared-mesh protection is an OTN-layer scheme")
+		}
+	case LayerOTN:
+		switch protect {
+		case Restore:
+			protect = SharedMesh // the OTN layer's native restoration
+		case OnePlusOne:
+			return nil, nil, fmt.Errorf("core: 1+1 protection is not offered on OTN circuits")
+		}
+	}
+
+	// Admission: quota, then access pipes.
+	if err := c.ledger.Admit(req.Customer, req.Rate); err != nil {
+		return nil, nil, err
+	}
+	if err := c.reserveAccess(siteA, siteB, req.Rate); err != nil {
+		c.ledger.Discharge(req.Customer, req.Rate) //nolint:errcheck // undoing our own admit
+		return nil, nil, err
+	}
+
+	conn := &Connection{
+		ID:          c.newConnID(),
+		Customer:    req.Customer,
+		From:        siteA.ID,
+		To:          siteB.ID,
+		Rate:        req.Rate,
+		Layer:       layer,
+		Protect:     protect,
+		State:       StatePending,
+		RequestedAt: c.k.Now(),
+	}
+	c.ledger.Claim(req.Customer, connKey(conn.ID)) //nolint:errcheck // fresh unique ID
+
+	var job *sim.Job
+	switch layer {
+	case LayerDWDM:
+		job, err = c.connectWavelength(conn, siteA.Home, siteB.Home)
+	case LayerOTN:
+		job, err = c.connectCircuit(conn, siteA.Home, siteB.Home)
+	}
+	if err != nil {
+		c.releaseAccess(conn.From, conn.To, conn.Rate)
+		c.ledger.Discharge(req.Customer, req.Rate)       //nolint:errcheck // undoing admit
+		c.ledger.Release(req.Customer, connKey(conn.ID)) //nolint:errcheck // undoing claim
+		return nil, nil, err
+	}
+	c.conns[conn.ID] = conn
+	c.log(conn.ID, "request", "%s %s->%s %v %v %v", conn.Customer, conn.From, conn.To, conn.Rate, conn.Layer, conn.Protect)
+	return conn, job, nil
+}
+
+func connKey(id ConnID) string { return "conn:" + string(id) }
+
+// connectWavelength reserves and configures a DWDM-layer connection.
+func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim.Job, error) {
+	lp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, nil, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	conn.path = lp
+
+	if conn.Protect == OnePlusOne {
+		avoid := map[topo.LinkID]bool{}
+		for _, l := range lp.route.Path.Links {
+			avoid[l] = true
+		}
+		plp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, nil, false)
+		if err != nil {
+			c.releaseLightpath(conn.ID, lp)
+			return nil, fmt.Errorf("core: no disjoint protect path: %w", err)
+		}
+		conn.protect = plp
+	}
+
+	job := c.lightpathSetupJob(lp)
+	if conn.protect != nil {
+		job = sim.All(c.k, job, c.lightpathSetupJob(conn.protect))
+	}
+	job.OnDone(func(err error) { c.finishSetup(conn, err) })
+	return job, nil
+}
+
+// finishSetup transitions a pending connection to Active (or unwinds it on an
+// EMS failure).
+func (c *Controller) finishSetup(conn *Connection, err error) {
+	if conn.State != StatePending {
+		return // torn down mid-setup
+	}
+	if err != nil {
+		c.log(conn.ID, "setup-failed", "%v", err)
+		c.releaseConnResources(conn)
+		conn.State = StateReleased
+		conn.ReleasedAt = c.k.Now()
+		return
+	}
+	conn.State = StateActive
+	conn.ActiveAt = c.k.Now()
+	conn.metering = true
+	conn.meterAt = c.k.Now()
+	c.log(conn.ID, "active", "setup took %v", conn.SetupTime())
+}
+
+// reserveLightpath finds a route and atomically reserves everything it needs.
+// reuse, when non-nil, supplies the terminating OTs and FXC ports of an
+// existing lightpath (restoration and bridge-and-roll keep the ends, only the
+// middle changes). withFXC selects whether FXC client/line ports are part of
+// this lightpath (the 1+1 protect leg bridges inside the NTE instead).
+func (c *Controller) reserveLightpath(id ConnID, a, b topo.NodeID, rate bw.Rate, avoid map[topo.LinkID]bool, reuse *lightpath, withFXC bool) (*lightpath, error) {
+	opt := c.rwaOpt
+	opt.Rate = rate
+	merged := map[topo.LinkID]bool{}
+	for l := range opt.Constraints.AvoidLinks {
+		merged[l] = true
+	}
+	for l := range avoid {
+		merged[l] = true
+	}
+	opt.Constraints.AvoidLinks = merged
+
+	route, err := rwa.FindRoute(c.plant, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.reserveOnRoute(id, route, rate, reuse, withFXC)
+}
+
+// reserveOnRoute reserves devices, spectrum and ports for an already chosen
+// route, atomically.
+func (c *Controller) reserveOnRoute(id ConnID, route rwa.Route, rate bw.Rate, reuse *lightpath, withFXC bool) (*lightpath, error) {
+	a, b := route.Path.Src(), route.Path.Dst()
+	lp := &lightpath{route: route}
+	txn := inventory.NewTxn()
+	defer txn.Rollback()
+
+	if reuse != nil {
+		lp.ots = reuse.ots
+		lp.portsA = reuse.portsA
+		lp.portsB = reuse.portsB
+	} else {
+		otA, err := inventory.Reserve(txn,
+			func() (*optics.OT, error) { return c.plant.OTs(a).Alloc(rate) },
+			func(ot *optics.OT) { c.plant.OTs(a).Release(ot) }) //nolint:errcheck // rollback
+		if err != nil {
+			return nil, err
+		}
+		otB, err := inventory.Reserve(txn,
+			func() (*optics.OT, error) { return c.plant.OTs(b).Alloc(rate) },
+			func(ot *optics.OT) { c.plant.OTs(b).Release(ot) }) //nolint:errcheck // rollback
+		if err != nil {
+			return nil, err
+		}
+		lp.ots = [2]*optics.OT{otA, otB}
+	}
+
+	for _, rn := range route.Plan.RegenNodes {
+		rn := rn
+		rg, err := inventory.Reserve(txn,
+			func() (*optics.Regen, error) { return c.plant.Regens(rn).Alloc(rate) },
+			func(rg *optics.Regen) { c.plant.Regens(rn).Release(rg) }) //nolint:errcheck // rollback
+		if err != nil {
+			return nil, err
+		}
+		lp.regens = append(lp.regens, rg)
+	}
+
+	for i, seg := range route.Plan.Segments {
+		ch := route.Channels[i]
+		for _, link := range seg.Links {
+			link, ch := link, ch
+			sp := c.plant.Spectrum(link)
+			if err := txn.Do(
+				func() error { return sp.Reserve(ch, string(id)) },
+				func() { sp.Release(ch) }, //nolint:errcheck // rollback
+			); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Program the ROADM layer: terminate at each segment's ends, express
+	// through its intermediates. Each segment gets a distinct owner key —
+	// including a per-lightpath nonce, because during restoration or
+	// bridge-and-roll the same connection briefly holds TWO lightpaths
+	// that share end nodes, and releasing one must not disturb the other.
+	lp.segNodes = segmentNodes(route.Path, route.Plan)
+	c.lpSeq++
+	for i := range route.Plan.Segments {
+		i := i
+		owner := fmt.Sprintf("%s#lp%d.seg%d", id, c.lpSeq, i)
+		nodes := lp.segNodes[i]
+		links := route.Plan.Segments[i].Links
+		ch := route.Channels[i]
+		if err := txn.Do(
+			func() error { return c.roadms.ConfigureSegment(nodes, links, ch, owner) },
+			func() { c.roadms.ReleaseSegment(nodes, owner) },
+		); err != nil {
+			return nil, err
+		}
+		lp.segOwners = append(lp.segOwners, owner)
+	}
+
+	if withFXC && reuse == nil {
+		pa, err := c.reserveFXCPair(txn, a, id)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := c.reserveFXCPair(txn, b, id)
+		if err != nil {
+			return nil, err
+		}
+		lp.portsA, lp.portsB = pa, pb
+	}
+
+	txn.Commit()
+	return lp, nil
+}
+
+// reserveFXCPair takes a free client and line port on the node's FXC and
+// cross-connects them, all under the transaction.
+func (c *Controller) reserveFXCPair(txn *inventory.Txn, node topo.NodeID, id ConnID) ([2]fxc.PortID, error) {
+	sw := c.fxcs[node]
+	var pair [2]fxc.PortID
+	err := txn.Do(func() error {
+		cp, err := sw.FreePort(fxc.Client)
+		if err != nil {
+			return err
+		}
+		lnp, err := sw.FreePort(fxc.Line)
+		if err != nil {
+			return err
+		}
+		if err := sw.Connect(cp, lnp, string(id)); err != nil {
+			return err
+		}
+		pair = [2]fxc.PortID{cp, lnp}
+		return nil
+	}, func() {
+		if pair[0] != "" {
+			sw.Disconnect(pair[0]) //nolint:errcheck // rollback
+		}
+	})
+	return pair, err
+}
+
+// releaseLightpath returns every resource of a lightpath. ownsEnds=false
+// variants (restoration legs reusing terminating equipment) release only
+// spectrum and regens.
+func (c *Controller) releaseLightpath(id ConnID, lp *lightpath) {
+	c.releaseLightpathMiddle(lp)
+	if lp.ots[0] != nil {
+		c.plant.OTs(lp.ots[0].Node).Release(lp.ots[0]) //nolint:errcheck // owned
+	}
+	if lp.ots[1] != nil {
+		c.plant.OTs(lp.ots[1].Node).Release(lp.ots[1]) //nolint:errcheck // owned
+	}
+	if lp.portsA[0] != "" {
+		c.fxcs[lp.route.Path.Src()].Disconnect(lp.portsA[0]) //nolint:errcheck // owned
+	}
+	if lp.portsB[0] != "" {
+		c.fxcs[lp.route.Path.Dst()].Disconnect(lp.portsB[0]) //nolint:errcheck // owned
+	}
+	_ = id
+}
+
+// releaseLightpathMiddle frees spectrum, ROADM switching state and
+// regenerators (everything except the terminating OTs and FXC ports).
+func (c *Controller) releaseLightpathMiddle(lp *lightpath) {
+	for i, seg := range lp.route.Plan.Segments {
+		ch := lp.route.Channels[i]
+		for _, link := range seg.Links {
+			c.plant.Spectrum(link).Release(ch) //nolint:errcheck // owned
+		}
+	}
+	for i, owner := range lp.segOwners {
+		c.roadms.ReleaseSegment(lp.segNodes[i], owner)
+	}
+	lp.segOwners = nil
+	lp.segNodes = nil
+	for _, rg := range lp.regens {
+		c.plant.Regens(rg.Node).Release(rg) //nolint:errcheck // owned
+	}
+	lp.regens = nil
+}
+
+// segmentNodes splits a path's node sequence by its regeneration plan:
+// segment i covers the nodes spanning its links, with regen nodes appearing
+// as the last node of one segment and the first of the next.
+func segmentNodes(path topo.Path, plan optics.RegenPlan) [][]topo.NodeID {
+	out := make([][]topo.NodeID, len(plan.Segments))
+	idx := 0
+	for i, seg := range plan.Segments {
+		n := len(seg.Links)
+		out[i] = append([]topo.NodeID(nil), path.Nodes[idx:idx+n+1]...)
+		idx += n
+	}
+	return out
+}
+
+// lightpathSetupJob runs the EMS choreography for one lightpath and returns
+// the job completing when light is verified end to end. Durations follow the
+// calibrated latency table; the FXC controllers and the ROADM EMS are
+// separate serial managers, chained in the order the prototype used.
+func (c *Controller) lightpathSetupJob(lp *lightpath) *sim.Job {
+	path := lp.route.Path
+	a, b := path.Src(), path.Dst()
+	hops := path.Hops()
+	seq := sim.NewSequence(c.k).
+		ThenWait(c.jit(c.lat.ControllerOverhead)).
+		Then(func() *sim.Job {
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect)})
+		}).
+		Then(func() *sim.Job {
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect)})
+		}).
+		Then(func() *sim.Job {
+			cmds := []ems.Command{
+				{Name: "ems-session", Dur: c.jit(c.lat.EMSSession)},
+				{Name: "add-drop:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop)},
+				{Name: "add-drop:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop)},
+			}
+			for _, n := range path.Intermediate() {
+				cmds = append(cmds, ems.Command{Name: "express:" + string(n), Dur: c.jit(c.lat.ROADMExpress)})
+			}
+			for _, rg := range lp.regens {
+				cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Dur: c.jit(c.lat.RegenConfig)})
+			}
+			cmds = append(cmds, ems.Command{Name: "laser-tune", Dur: c.jit(c.lat.LaserTune)})
+			for i := 0; i < hops; i++ {
+				cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Dur: c.jit(c.lat.PowerBalancePerHop)})
+			}
+			cmds = append(cmds,
+				ems.Command{Name: "link-equalize", Dur: c.jit(c.lat.LinkEqualize)},
+				ems.Command{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd)},
+			)
+			return c.roadmEMS.SubmitBatch(cmds)
+		})
+	return seq.Go()
+}
+
+// lightpathTeardownJob runs the EMS choreography for releasing a lightpath
+// (paper §3: "around 10 seconds").
+func (c *Controller) lightpathTeardownJob(lp *lightpath) *sim.Job {
+	path := lp.route.Path
+	a, b := path.Src(), path.Dst()
+	return sim.NewSequence(c.k).
+		ThenWait(c.jit(c.lat.TeardownController)).
+		Then(func() *sim.Job {
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect)})
+		}).
+		Then(func() *sim.Job {
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect)})
+		}).
+		Then(func() *sim.Job {
+			return c.roadmEMS.SubmitBatch([]ems.Command{
+				{Name: "teardown-session", Dur: c.jit(c.lat.TeardownEMSSession)},
+				{Name: "release:" + string(a), Dur: c.jit(c.lat.ROADMRelease)},
+				{Name: "release:" + string(b), Dur: c.jit(c.lat.ROADMRelease)},
+			})
+		}).
+		Go()
+}
+
+// Disconnect tears a connection down on behalf of its owner. Resources are
+// released when the teardown EMS work completes.
+func (c *Controller) Disconnect(cust inventory.Customer, id ConnID) (*sim.Job, error) {
+	conn := c.conns[id]
+	if conn == nil {
+		return nil, fmt.Errorf("core: unknown connection %s", id)
+	}
+	if err := c.ledger.Verify(cust, connKey(id)); err != nil {
+		return nil, err
+	}
+	switch conn.State {
+	case StateActive, StateDown, StateRestoring:
+		// A customer may cancel even mid-restoration; the in-flight
+		// restoration job notices the state change and returns its
+		// resources.
+	default:
+		return nil, fmt.Errorf("core: connection %s is %v; cannot disconnect", id, conn.State)
+	}
+	conn.settleUsage(c.k.Now())
+	conn.State = StateTearingDown
+	c.log(id, "teardown", "requested by %s", cust)
+
+	var job *sim.Job
+	switch conn.Layer {
+	case LayerDWDM:
+		job = c.lightpathTeardownJob(conn.working())
+	case LayerOTN:
+		job = c.circuitTeardownJob(conn)
+	}
+	job.OnDone(func(error) {
+		c.releaseConnResources(conn)
+		conn.endOutage(c.k.Now())
+		conn.State = StateReleased
+		conn.ReleasedAt = c.k.Now()
+		c.log(id, "released", "teardown took %v", job.Elapsed())
+	})
+	return job, nil
+}
+
+// releaseConnResources returns everything a connection holds: lightpaths or
+// OTN slots, access capacity, quota, claims.
+func (c *Controller) releaseConnResources(conn *Connection) {
+	if conn.path != nil {
+		c.releaseLightpath(conn.ID, conn.path)
+		conn.path = nil
+	}
+	if conn.protect != nil {
+		c.releaseLightpath(conn.ID, conn.protect)
+		conn.protect = nil
+	}
+	if len(conn.pipes) > 0 {
+		otn.ReleasePath(conn.pipes, string(conn.ID)) //nolint:errcheck // owned
+		conn.pipes = nil
+	}
+	if len(conn.backup) > 0 {
+		for _, p := range conn.backup {
+			p.ReleaseShared(string(conn.ID)) //nolint:errcheck // may already be activated
+		}
+		conn.backup = nil
+	}
+	if !conn.Internal {
+		c.releaseAccess(conn.From, conn.To, conn.Rate)
+	}
+	c.ledger.Discharge(conn.Customer, conn.Rate)      //nolint:errcheck // symmetric with admit
+	c.ledger.Release(conn.Customer, connKey(conn.ID)) //nolint:errcheck // symmetric with claim
+}
+
+// ConnectComposite provisions a >wavelength-granularity service as multiple
+// component connections per PlaceRate (e.g. 12G = 10G DWDM + 2x1G OTN). It
+// returns the components and a job completing when all are active. Components
+// that fail admission cause the whole request to fail with nothing retained.
+func (c *Controller) ConnectComposite(req Request) ([]*Connection, *sim.Job, error) {
+	parts, err := PlaceRate(req.Rate)
+	if err != nil {
+		return nil, nil, err
+	}
+	var conns []*Connection
+	var jobs []*sim.Job
+	for _, rate := range parts {
+		sub := req
+		sub.Rate = rate
+		sub.Protect = req.Protect
+		if layerFor(rate) == LayerOTN && req.Protect == OnePlusOne {
+			sub.Protect = SharedMesh
+		}
+		if layerFor(rate) == LayerDWDM && req.Protect == SharedMesh {
+			sub.Protect = Restore
+		}
+		conn, job, err := c.Connect(sub)
+		if err != nil {
+			// Unwind the components already launched.
+			for _, done := range conns {
+				done.State = StateTearingDown
+				c.releaseConnResources(done)
+				done.State = StateReleased
+				done.ReleasedAt = c.k.Now()
+				c.log(done.ID, "released", "composite sibling failed")
+			}
+			return nil, nil, fmt.Errorf("core: composite %v component %v: %w", req.Rate, rate, err)
+		}
+		conns = append(conns, conn)
+		jobs = append(jobs, job)
+	}
+	return conns, sim.All(c.k, jobs...), nil
+}

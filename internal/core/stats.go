@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"griphon/internal/topo"
+)
+
+// Stats is a point-in-time snapshot of controller and network state, feeding
+// the customer GUI, the HTTP API and the benchmark harness.
+type Stats struct {
+	// Connection counts by state (customer connections only).
+	Pending, Active, Down, Restoring, Released int
+	// InternalConns counts carrier-owned pipe wavelengths.
+	InternalConns int
+	// ChannelsInUse is the total number of (link, wavelength) pairs
+	// occupied across the plant.
+	ChannelsInUse int
+	// OTsInUse / OTsTotal pool occupancy across all nodes.
+	OTsInUse, OTsTotal int
+	// RegensInUse / RegensTotal pool occupancy.
+	RegensInUse, RegensTotal int
+	// Pipes and OTN slot occupancy.
+	Pipes, SlotsInUse, SlotsTotal int
+	// DownLinks lists failed fibers.
+	DownLinks []topo.LinkID
+	// Events is the audit log length.
+	Events int
+}
+
+// Snapshot computes current statistics.
+func (c *Controller) Snapshot() Stats {
+	var s Stats
+	for _, conn := range c.conns {
+		if conn.Internal {
+			s.InternalConns++
+			continue
+		}
+		switch conn.State {
+		case StatePending:
+			s.Pending++
+		case StateActive:
+			s.Active++
+		case StateDown:
+			s.Down++
+		case StateRestoring:
+			s.Restoring++
+		case StateReleased:
+			s.Released++
+		}
+	}
+	for _, l := range c.g.Links() {
+		s.ChannelsInUse += c.plant.Spectrum(l.ID).Used()
+	}
+	for _, n := range c.g.Nodes() {
+		s.OTsInUse += c.plant.OTs(n.ID).InUse()
+		s.OTsTotal += c.plant.OTs(n.ID).Total()
+		s.RegensInUse += c.plant.Regens(n.ID).InUse()
+		s.RegensTotal += c.plant.Regens(n.ID).Total()
+	}
+	for _, p := range c.fabric.Pipes() {
+		s.Pipes++
+		s.SlotsInUse += p.UsedSlots()
+		s.SlotsTotal += p.TotalSlots()
+	}
+	s.DownLinks = c.plant.DownLinks()
+	s.Events = len(c.events)
+	return s
+}
+
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conns: %d active, %d pending, %d down, %d restoring, %d released (%d internal)\n",
+		s.Active, s.Pending, s.Down, s.Restoring, s.Released, s.InternalConns)
+	fmt.Fprintf(&b, "plant: %d channel-links, OTs %d/%d, regens %d/%d\n",
+		s.ChannelsInUse, s.OTsInUse, s.OTsTotal, s.RegensInUse, s.RegensTotal)
+	fmt.Fprintf(&b, "otn: %d pipes, slots %d/%d\n", s.Pipes, s.SlotsInUse, s.SlotsTotal)
+	if len(s.DownLinks) > 0 {
+		fmt.Fprintf(&b, "down links: %v\n", s.DownLinks)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package ems
+
+import (
+	"fmt"
+
+	"griphon/internal/sim"
+)
+
+// Command is one unit of EMS work: a named step with a latency and an
+// optional apply function that mutates device state when the step completes.
+type Command struct {
+	// Name describes the step for logs and traces.
+	Name string
+	// Dur is the step's latency (already jittered by the caller if
+	// desired).
+	Dur sim.Duration
+	// Apply mutates device state at completion; a nil Apply is pure
+	// latency. An Apply error fails the command's job.
+	Apply func() error
+}
+
+// Manager is one vendor EMS (or element controller): a strictly serial
+// command executor. Serialization is deliberate — a single EMS session
+// processes one configuration step at a time, which is a real contributor to
+// the provisioning times the paper measures, and makes concurrent connection
+// setups through the same EMS queue behind each other.
+type Manager struct {
+	name    string
+	k       *sim.Kernel
+	busy    bool
+	queue   []*queued
+	served  uint64
+	busyFor sim.Duration
+
+	// Fault injection: failNext commands (counting from the next one to
+	// execute) fail with failErr. Used by tests and failure-injection
+	// experiments to exercise controller rollback paths.
+	failNext int
+	failErr  error
+}
+
+type queued struct {
+	cmd Command
+	job *sim.Job
+}
+
+// NewManager returns an idle EMS with the given display name.
+func NewManager(name string, k *sim.Kernel) *Manager {
+	return &Manager{name: name, k: k}
+}
+
+// Name returns the EMS's display name.
+func (m *Manager) Name() string { return m.name }
+
+// QueueLen returns the number of commands waiting (not counting the one in
+// flight).
+func (m *Manager) QueueLen() int { return len(m.queue) }
+
+// Served returns the number of commands completed.
+func (m *Manager) Served() uint64 { return m.served }
+
+// BusyTime returns the cumulative virtual time spent executing commands.
+func (m *Manager) BusyTime() sim.Duration { return m.busyFor }
+
+// InjectFailures makes the next n commands fail with err when they execute
+// (vendor EMS timeouts, rejected configurations). Passing n <= 0 clears any
+// pending injection.
+func (m *Manager) InjectFailures(n int, err error) {
+	if n <= 0 {
+		m.failNext = 0
+		m.failErr = nil
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("ems: %s: injected failure", m.name)
+	}
+	m.failNext = n
+	m.failErr = err
+}
+
+// Submit enqueues a command and returns the job that completes when the
+// command has executed. Commands run in submission order.
+func (m *Manager) Submit(cmd Command) *sim.Job {
+	if cmd.Dur < 0 {
+		return m.k.CompletedJob(fmt.Errorf("ems: %s: negative duration for %q", m.name, cmd.Name))
+	}
+	q := &queued{cmd: cmd, job: m.k.NewJob()}
+	m.queue = append(m.queue, q)
+	if !m.busy {
+		m.runNext()
+	}
+	return q.job
+}
+
+// SubmitBatch enqueues the commands in order and returns a job that completes
+// when the last one does (failing with the first command error, but still
+// executing the rest — an EMS does not abort a batch midway).
+func (m *Manager) SubmitBatch(cmds []Command) *sim.Job {
+	if len(cmds) == 0 {
+		return m.k.CompletedJob(nil)
+	}
+	jobs := make([]*sim.Job, len(cmds))
+	for i, c := range cmds {
+		jobs[i] = m.Submit(c)
+	}
+	return sim.All(m.k, jobs...)
+}
+
+func (m *Manager) runNext() {
+	if len(m.queue) == 0 {
+		m.busy = false
+		return
+	}
+	m.busy = true
+	q := m.queue[0]
+	m.queue = m.queue[1:]
+	m.busyFor += q.cmd.Dur
+	m.k.After(q.cmd.Dur, func() {
+		var err error
+		if m.failNext > 0 {
+			m.failNext--
+			err = m.failErr
+			if m.failNext == 0 {
+				m.failErr = nil
+			}
+		} else if q.cmd.Apply != nil {
+			err = q.cmd.Apply()
+		}
+		m.served++
+		q.job.Complete(err)
+		m.runNext()
+	})
+}

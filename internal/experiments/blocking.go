@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"griphon/internal/bw"
+	"griphon/internal/core"
+	"griphon/internal/inventory"
+	"griphon/internal/metrics"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+	"griphon/internal/traffic"
+)
+
+// Blocking sweeps offered load and measures request-blocking probability for
+// two transponder-pooling designs: GRIPhoN's shared pool (any customer may
+// use any OT, paper §1 "intelligent re-use of the pool of resources across
+// multiple customers") versus dedicated per-customer partitions. The shared
+// pool blocks less at every load — the classic trunking gain, and the
+// paper's §4 resource-planning argument.
+func Blocking(seed int64) (Result, error) {
+	res := Result{ID: "blocking", Paper: "§4 resource planning (ablation)"}
+	const (
+		customers = 4
+		otsTotal  = 8
+		holdMean  = 4 * time.Hour
+		horizon   = 30 * 24 * time.Hour
+	)
+	loads := []float64{1, 2, 4, 6, 8, 12} // mean concurrent requests (erlangs)
+
+	shared := &metrics.Series{Name: "blocking probability: shared OT pool"}
+	dedicated := &metrics.Series{Name: "blocking probability: dedicated per-customer OTs"}
+	tb := metrics.NewTable("Blocking probability vs offered load (10G requests, backbone, 30 days)",
+		"Offered load (erlangs)", "Shared pool", "Dedicated pools", "Pooling gain")
+
+	for _, load := range loads {
+		pShared, err := blockingRun(seed, load, holdMean, horizon, otsTotal, 1)
+		if err != nil {
+			return Result{}, err
+		}
+		// Dedicated: each of the 4 customers owns otsTotal/customers OTs
+		// and receives 1/customers of the load.
+		pDed, err := blockingRun(seed+1, load/customers, holdMean, horizon, otsTotal/customers, customers)
+		if err != nil {
+			return Result{}, err
+		}
+		shared.Point(load, pShared)
+		dedicated.Point(load, pDed)
+		gain := "-"
+		if pShared > 0 {
+			gain = fmt.Sprintf("%.1fx", pDed/pShared)
+		} else if pDed > 0 {
+			gain = "inf"
+		}
+		tb.Row(load, pShared, pDed, gain)
+		res.value(fmt.Sprintf("shared_%.0f", load), pShared)
+		res.value(fmt.Sprintf("dedicated_%.0f", load), pDed)
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Series = append(res.Series, shared, dedicated)
+	res.notef("sharing the OT pool across customers lowers blocking at every load (trunking gain)")
+	return res, nil
+}
+
+// bigAccessBackbone clones the backbone with oversized access pipes so the
+// transponder pool is the only bottleneck in the ablation (otherwise the
+// dedicated runs would quietly get replicas x the access capacity too).
+func bigAccessBackbone() *topo.Graph {
+	src := topo.Backbone()
+	g := topo.New()
+	for _, n := range src.Nodes() {
+		g.AddNode(*n) //nolint:errcheck // copying a valid graph
+	}
+	for _, l := range src.Links() {
+		g.AddLink(*l) //nolint:errcheck // copying a valid graph
+	}
+	for _, s := range src.Sites() {
+		c := *s
+		c.AccessGbps = 4000
+		g.AddSite(c) //nolint:errcheck // copying a valid graph
+	}
+	return g
+}
+
+// blockingRun simulates Poisson 10G requests between random backbone site
+// pairs at the given load and returns the fraction blocked. replicas > 1
+// runs independent dedicated partitions and averages them.
+func blockingRun(seed int64, erlangs float64, holdMean, horizon time.Duration, otsPerNode int, replicas int) (float64, error) {
+	var blocked, total int
+	for rep := 0; rep < replicas; rep++ {
+		k := sim.NewKernel(seed + int64(rep)*15485863)
+		cfg := core.Config{}
+		cfg.Optics.Channels = 80
+		cfg.Optics.ReachKM = 4500 // keep regens out of this ablation
+		cfg.Optics.OTsPerNode = otsPerNode
+		cfg.Optics.RegensPerNode = 2
+		ctrl, err := core.New(k, bigAccessBackbone(), cfg)
+		if err != nil {
+			return 0, err
+		}
+		sites := ctrl.Graph().Sites()
+		interMean := time.Duration(float64(holdMean) / erlangs)
+		cust := inventory.Customer(fmt.Sprintf("csp%d", rep))
+
+		traffic.PoissonArrivals(k, interMean, sim.Time(horizon), func(i int) {
+			a := sites[k.Rand().Intn(len(sites))]
+			b := sites[k.Rand().Intn(len(sites))]
+			for b.ID == a.ID {
+				b = sites[k.Rand().Intn(len(sites))]
+			}
+			total++
+			conn, job, err := ctrl.Connect(core.Request{
+				Customer: cust, From: a.ID, To: b.ID, Rate: bw.Rate10G,
+			})
+			if err != nil {
+				blocked++
+				return
+			}
+			// Hold starts once the connection is up; setup failures
+			// release themselves.
+			job.OnDone(func(err error) {
+				if err != nil {
+					return
+				}
+				hold := k.Rand().ExpDuration(holdMean)
+				k.After(hold, func() {
+					ctrl.Disconnect(cust, conn.ID) //nolint:errcheck // ends naturally
+				})
+			})
+		})
+		k.Run()
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(blocked) / float64(total), nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"time"
+
+	"griphon/internal/bw"
+	"griphon/internal/core"
+	"griphon/internal/metrics"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+	"griphon/internal/traffic"
+)
+
+// Defrag runs months of connection churn on a narrow spectrum, then measures
+// how spectrum defragmentation (retuning survivors to the lowest channels)
+// restores first-fit packing: highest channel in use before/after, and
+// whether a batch of probe demands fits before/after. An operational
+// extension in the spirit of the paper's §4 re-grooming challenge.
+func Defrag(seed int64) (Result, error) {
+	res := Result{ID: "defrag", Paper: "§4 extension: spectrum defragmentation"}
+	const channels = 12
+
+	k := sim.NewKernel(seed)
+	cfg := core.Config{}
+	cfg.Optics.Channels = channels
+	cfg.Optics.ReachKM = 4500
+	cfg.Optics.OTsPerNode = 16
+	cfg.Optics.RegensPerNode = 2
+	ctrl, err := core.New(k, topo.Backbone(), cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	sites := ctrl.Graph().Sites()
+
+	// Churn: Poisson 10G arrivals with exponential holds for 60 days.
+	traffic.PoissonArrivals(k, 2*time.Hour, sim.Time(60*24*time.Hour), func(int) {
+		a := sites[k.Rand().Intn(len(sites))]
+		b := sites[k.Rand().Intn(len(sites))]
+		if a.ID == b.ID {
+			return
+		}
+		conn, job, err := ctrl.Connect(core.Request{Customer: "churn", From: a.ID, To: b.ID, Rate: bw.Rate10G})
+		if err != nil {
+			return
+		}
+		job.OnDone(func(err error) {
+			if err != nil {
+				return
+			}
+			k.After(k.Rand().ExpDuration(12*time.Hour), func() {
+				ctrl.Disconnect("churn", conn.ID) //nolint:errcheck // natural end
+			})
+		})
+	})
+	// Stop mid-life: survivors are still up, sitting on whatever channels
+	// churn left them.
+	k.RunUntil(sim.Time(60 * 24 * time.Hour))
+
+	before := ctrl.MaxChannelInUse()
+	beforeFit := probeFit(ctrl)
+
+	// Defragment: resource state moves synchronously; measure before the
+	// survivors' own eventual teardowns drain the network.
+	job, moved := ctrl.DefragmentSpectrum()
+	after := ctrl.MaxChannelInUse()
+	afterFit := probeFit(ctrl)
+	k.RunFor(time.Hour) // let the retune EMS jobs finish
+	if !job.Done() || job.Err() != nil {
+		return Result{}, job.Err()
+	}
+
+	tb := metrics.NewTable("Spectrum defragmentation after 60 days of churn (12-channel backbone)",
+		"Metric", "Before", "After")
+	tb.Row("highest channel in use", before, after)
+	tb.Row("survivors retuned", "-", moved)
+	tb.Row("probe demands assignable (of 10)", beforeFit, afterFit)
+	res.Tables = append(res.Tables, tb)
+	res.value("before_max", float64(before))
+	res.value("after_max", float64(after))
+	res.value("moved", float64(moved))
+	res.value("before_fit", float64(beforeFit))
+	res.value("after_fit", float64(afterFit))
+	res.notef("each retune costs only a ~50 ms hit on the moved connection")
+	return res, nil
+}
+
+// probeFit counts how many of ten standard probe demands could currently be
+// wavelength-assigned (without committing them).
+func probeFit(ctrl *core.Controller) int {
+	sites := ctrl.Graph().Sites()
+	fit := 0
+	for i := 0; i < 10; i++ {
+		a := sites[i%len(sites)]
+		b := sites[(i+1+i/len(sites))%len(sites)]
+		if a.ID == b.ID {
+			continue
+		}
+		if _, err := ctrl.ProbeRoute(a.Home, b.Home, bw.Rate10G); err == nil {
+			fit++
+		}
+	}
+	return fit
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"griphon/internal/bw"
+	"griphon/internal/core"
+	"griphon/internal/metrics"
+	"griphon/internal/optics"
+	"griphon/internal/planner"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+	"griphon/internal/traffic"
+)
+
+// Planning exercises paper §4's resource-planning challenge end to end: an
+// Erlang-B planner sizes each PoP's transponder pool for a demand forecast
+// and a 2% blocking target, the same demand is then offered to the simulator
+// with the recommended pools installed, and measured blocking is compared to
+// the target. A second table shows the pools needed when the Forrester
+// forecast the paper cites (demand doubling in ~2 years) comes true.
+func Planning(seed int64) (Result, error) {
+	res := Result{ID: "planning", Paper: "§4 network resource planning"}
+	const (
+		target   = 0.02
+		holdMean = 4 * time.Hour
+		horizon  = 60 * 24 * time.Hour
+	)
+
+	g := topo.Testbed()
+	demand := planner.Demand{}
+	demand.Set("DC-A", "DC-B", 3)
+	demand.Set("DC-A", "DC-C", 2)
+	demand.Set("DC-B", "DC-C", 1.5)
+
+	plans, err := planner.PlanOTs(g, demand, target, 0.25)
+	if err != nil {
+		return Result{}, err
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Transponder pools for a %.1f-erlang forecast, %.0f%% blocking target", demand.Total(), target*100),
+		"PoP", "Offered (erl)", "Working OTs", "Restoration OTs", "Predicted blocking")
+	override := map[topo.NodeID]int{}
+	for _, p := range plans {
+		tb.Row(string(p.Node), p.OfferedErlangs, p.WorkingOTs, p.RestorationOTs, p.Blocking)
+		override[p.Node] = p.Total()
+	}
+	res.Tables = append(res.Tables, tb)
+
+	// Validate by simulation: offer the same demand with the recommended
+	// pools and measure blocking.
+	measured, err := planValidate(seed, g, demand, override, holdMean, horizon)
+	if err != nil {
+		return Result{}, err
+	}
+	vt := metrics.NewTable("Planner validation by simulation (60 days of offered demand)",
+		"Quantity", "Value")
+	vt.Row("target blocking", target)
+	vt.Row("measured blocking", measured)
+	res.Tables = append(res.Tables, vt)
+	res.value("target", target)
+	res.value("measured_blocking", measured)
+
+	// Growth outlook (paper §1: Forrester projects demand to double or
+	// triple in two to four years).
+	gt := metrics.NewTable("Pool growth if demand doubles every 2 years (Forrester projection)",
+		"Horizon", "Total forecast (erl)", "Total working OTs")
+	for _, years := range []float64{0, 2, 4} {
+		grown := demand.Grow(years, 2)
+		plans, err := planner.PlanOTs(g, grown, target, 0.25)
+		if err != nil {
+			return Result{}, err
+		}
+		total := 0
+		for _, p := range plans {
+			total += p.WorkingOTs
+		}
+		gt.Row(fmt.Sprintf("+%.0f years", years), grown.Total(), total)
+		res.value(fmt.Sprintf("ots_y%.0f", years), float64(total))
+	}
+	res.Tables = append(res.Tables, gt)
+	res.notef("pooled planning grows sub-linearly with demand (economies of scale in trunking)")
+	return res, nil
+}
+
+// planValidate offers Poisson demand per pair and measures blocking with the
+// planned pools installed.
+func planValidate(seed int64, g *topo.Graph, demand planner.Demand, pools map[topo.NodeID]int, holdMean, horizon time.Duration) (float64, error) {
+	k := sim.NewKernel(seed)
+	cfg := core.Config{}
+	cfg.Optics = optics.DefaultConfig()
+	cfg.Optics.OTOverride = pools
+	cfg.Optics.OTsPerNode = 0 // nodes without forecast demand get no OTs
+	// Size add/drop banks above the largest pool so the planned OT count
+	// is the constraint under test.
+	maxPool := 0
+	for _, n := range pools {
+		if n > maxPool {
+			maxPool = n
+		}
+	}
+	cfg.AddDropPorts = maxPool + 8
+	// Give every site plenty of access so OTs are the tested constraint.
+	big := topo.New()
+	for _, n := range g.Nodes() {
+		big.AddNode(*n) //nolint:errcheck // copying a valid graph
+	}
+	for _, l := range g.Links() {
+		big.AddLink(*l) //nolint:errcheck // copying a valid graph
+	}
+	for _, s := range g.Sites() {
+		c := *s
+		c.AccessGbps = 4000
+		big.AddSite(c) //nolint:errcheck // copying a valid graph
+	}
+	ctrl, err := core.New(k, big, cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	var blocked, total int
+	for pair, erl := range demand {
+		if erl <= 0 {
+			continue
+		}
+		pair := pair
+		interMean := time.Duration(float64(holdMean) / erl)
+		traffic.PoissonArrivals(k, interMean, sim.Time(horizon), func(int) {
+			total++
+			conn, job, err := ctrl.Connect(core.Request{
+				Customer: "csp", From: pair[0], To: pair[1], Rate: bw.Rate10G,
+			})
+			if err != nil {
+				blocked++
+				return
+			}
+			job.OnDone(func(err error) {
+				if err != nil {
+					return
+				}
+				k.After(k.Rand().ExpDuration(holdMean), func() {
+					ctrl.Disconnect("csp", conn.ID) //nolint:errcheck // natural end
+				})
+			})
+		})
+	}
+	k.Run()
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: no demand offered")
+	}
+	return float64(blocked) / float64(total), nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"griphon/internal/metrics"
+	"griphon/internal/optics"
+	"griphon/internal/rwa"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// RWAAblation compares wavelength-assignment policies and path-search depth
+// on the backbone: how many 10G lightpaths between random PoP pairs can be
+// established before the first wavelength-blocked request, with a small
+// channel grid so spectrum (not transponders) is the bottleneck. This is the
+// DESIGN.md design-choice ablation for the RWA module.
+func RWAAblation(seed int64) (Result, error) {
+	res := Result{ID: "rwa-ablation", Paper: "design ablation"}
+	const channels = 8
+	const demands = 400
+
+	policies := []rwa.AssignPolicy{rwa.FirstFit, rwa.MostUsed, rwa.LeastUsed, rwa.RandomFit}
+	ks := []int{1, 4}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Lightpaths carried on an %d-channel backbone before/among %d random demands", channels, demands),
+		"Policy", "k=1 carried", "k=4 carried")
+
+	for _, pol := range policies {
+		row := []any{pol.String()}
+		for _, kPaths := range ks {
+			carried, err := rwaRun(seed, channels, demands, pol, kPaths)
+			if err != nil {
+				return Result{}, err
+			}
+			row = append(row, carried)
+			res.value(fmt.Sprintf("%s_k%d", pol, kPaths), float64(carried))
+		}
+		tb.Row(row...)
+	}
+	res.Tables = append(res.Tables, tb)
+	res.notef("k>1 lets a blocked demand detour, but detours burn extra spectrum: under saturation k=1 can carry MORE total demands — a real provisioning trade-off")
+	res.notef("first-fit packs the spectrum better than random assignment")
+	return res, nil
+}
+
+// rwaRun routes random demands (no holding-time churn: pure packing) and
+// counts how many could be assigned a wavelength.
+func rwaRun(seed int64, channels, demands int, pol rwa.AssignPolicy, kPaths int) (int, error) {
+	rng := sim.NewRand(seed)
+	g := topo.Backbone()
+	cfg := optics.DefaultConfig()
+	cfg.Channels = channels
+	cfg.ReachKM = 10000 // keep regens out of the ablation
+	plant, err := optics.NewPlant(g, cfg)
+	if err != nil {
+		return 0, err
+	}
+	nodes := g.Nodes()
+	carried := 0
+	for i := 0; i < demands; i++ {
+		a := nodes[rng.Intn(len(nodes))].ID
+		b := nodes[rng.Intn(len(nodes))].ID
+		for b == a {
+			b = nodes[rng.Intn(len(nodes))].ID
+		}
+		route, err := rwa.FindRoute(plant, a, b, rwa.Options{
+			K: kPaths, Policy: pol, Rand: rng,
+		})
+		if err != nil {
+			continue // blocked
+		}
+		// Commit the assignment.
+		for si, seg := range route.Plan.Segments {
+			for _, l := range seg.Links {
+				if err := plant.Spectrum(l).Reserve(route.Channels[si], fmt.Sprintf("d%d", i)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		carried++
+	}
+	return carried, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"time"
+
+	"griphon/internal/bw"
+	"griphon/internal/core"
+	"griphon/internal/metrics"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+	"griphon/internal/traffic"
+)
+
+// Scale exercises the controller at the "eventual scale that must be
+// managed" the paper contrasts against research testbeds (§1, comparison to
+// CANARIE/CHEETAH/DRAGON): a 64-node grid backbone, thirty days of BoD
+// churn, then a failure storm. It verifies the control-plane behaviours hold
+// at scale and reports the simulator's wall-clock efficiency.
+func Scale(seed int64) (Result, error) {
+	res := Result{ID: "scale", Paper: "§1 carrier scale (extension)"}
+
+	start := time.Now()
+	k := sim.NewKernel(seed)
+	g, err := topo.Grid(8, 8, 300)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := core.Config{AutoRepair: true}
+	cfg.Optics.Channels = 80
+	cfg.Optics.ReachKM = 2500
+	cfg.Optics.OTsPerNode = 16
+	cfg.Optics.RegensPerNode = 4
+	ctrl, err := core.New(k, g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	sites := g.Sites()
+
+	var setup metrics.Sample
+	completed, blocked := 0, 0
+	traffic.PoissonArrivals(k, 30*time.Minute, sim.Time(30*24*time.Hour), func(int) {
+		a := sites[k.Rand().Intn(len(sites))]
+		b := sites[k.Rand().Intn(len(sites))]
+		if a.ID == b.ID {
+			return
+		}
+		conn, job, err := ctrl.Connect(core.Request{Customer: "csp", From: a.ID, To: b.ID, Rate: bw.Rate10G})
+		if err != nil {
+			blocked++
+			return
+		}
+		job.OnDone(func(err error) {
+			if err != nil {
+				return
+			}
+			completed++
+			setup.AddDuration(conn.SetupTime())
+			k.After(k.Rand().ExpDuration(8*time.Hour), func() {
+				ctrl.Disconnect("csp", conn.ID) //nolint:errcheck // natural end
+			})
+		})
+	})
+	// A mid-month failure storm: one of the two access-side links at
+	// three of the four data-center corners (the other corner link keeps
+	// a restoration path available).
+	cuts := []topo.LinkID{"G0000-G0001", "G0607-G0707", "G0700-G0701"}
+	k.At(sim.Time(15*24*time.Hour), func() {
+		for _, l := range cuts {
+			ctrl.CutFiber(l) //nolint:errcheck // exists in an 8x8 grid
+		}
+	})
+	k.Run()
+
+	wall := time.Since(start)
+	snap := ctrl.Snapshot()
+	restored := 0
+	for _, conn := range ctrl.Connections() {
+		restored += conn.Restorations
+	}
+
+	tb := metrics.NewTable("30 days of BoD churn + failure storm on a 64-node grid",
+		"Metric", "Value")
+	tb.Row("connections completed", completed)
+	tb.Row("requests blocked", blocked)
+	tb.Row("mean setup (s)", setup.Mean())
+	tb.Row("automated restorations", restored)
+	tb.Row("connections stranded at end", snap.Down+snap.Restoring)
+	tb.Row("simulated events", int(k.Processed()))
+	tb.Row("wall time", wall.Round(time.Millisecond).String())
+	tb.Row("events/sec (wall)", float64(k.Processed())/wall.Seconds())
+	res.Tables = append(res.Tables, tb)
+
+	res.value("completed", float64(completed))
+	res.value("blocked", float64(blocked))
+	res.value("mean_setup_s", setup.Mean())
+	res.value("restored", float64(restored))
+	res.value("stranded", float64(snap.Down+snap.Restoring))
+	res.notef("a simulated month on a 64-node mesh runs in seconds of wall time")
+	return res, nil
+}

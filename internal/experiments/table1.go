@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"time"
+
+	"griphon/internal/baseline"
+	"griphon/internal/bw"
+	"griphon/internal/core"
+	"griphon/internal/metrics"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// Table1 quantifies the paper's Table 1: for each dimension of the BoD
+// service vision, today's reality vs GRIPhoN, with today's numbers from the
+// baseline models and GRIPhoN's numbers measured from the simulator.
+func Table1(seed int64) (Result, error) {
+	res := Result{ID: "table1", Paper: "Table 1"}
+
+	// --- Rapid establishment: static lead time vs measured setup ---
+	k := sim.NewKernel(seed)
+	ctrl, err := core.New(k, topo.Testbed(), core.Config{})
+	if err != nil {
+		return Result{}, err
+	}
+	conn, job, err := ctrl.Connect(core.Request{Customer: "bench", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	if err != nil {
+		return Result{}, err
+	}
+	k.Run()
+	if job.Err() != nil {
+		return Result{}, job.Err()
+	}
+	setup := conn.SetupTime()
+
+	// --- Reduced outage: manual repair vs 1+1 vs GRIPhoN restoration ---
+	manual, err := measureOutage(seed+1, core.Unprotected, true)
+	if err != nil {
+		return Result{}, err
+	}
+	onePlusOne, err := measureOutage(seed+2, core.OnePlusOne, false)
+	if err != nil {
+		return Result{}, err
+	}
+	restore, err := measureOutage(seed+3, core.Restore, false)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// --- Maintenance impact: unmovable hit vs bridge-and-roll hit ---
+	rollHit, windowHit, err := measureMaintenance(seed + 4)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tb := metrics.NewTable("Table 1 quantified: BoD service vision, today's reality, GRIPhoN (measured)",
+		"Dimension", "Today's reality", "GRIPhoN (measured)")
+	tb.Row("Dynamic configurable rate", "max well below wavelength rate (<=622M BoD)",
+		"1G-40G: OTN circuits + wavelengths + composites")
+	tb.Row("Establish new connection", baseline.StaticLeadTime.String()+" (weeks)", setup.Round(time.Second).String())
+	tb.Row("Outage: no protection", manual.Round(time.Minute).String()+" (wait for repair)", "-")
+	tb.Row("Outage: 1+1 (expensive)", onePlusOne.Round(time.Millisecond).String(), onePlusOne.Round(time.Millisecond).String())
+	tb.Row("Outage: automated restoration", "n/a (manual only)", restore.Round(time.Second).String())
+	tb.Row("Maintenance impact", windowHit.Round(time.Minute).String()+" (hit for the window)", rollHit.Round(time.Millisecond).String()+" (bridge-and-roll)")
+	res.Tables = append(res.Tables, tb)
+
+	// Cost comparison for restoration options.
+	costs := baseline.DefaultCosts()
+	km := conn.Route().KM(ctrl.Graph())
+	ct := metrics.NewTable("Relative monthly cost of survivability options (cost units)",
+		"Scheme", "Cost", "Restores in")
+	ct.Row("unprotected", costs.WavelengthMonthly(km, 0), manual.Round(time.Minute).String())
+	ct.Row("GRIPhoN shared restoration", costs.SharedRestoreMonthly(km, 0, 0.25), restore.Round(time.Second).String())
+	ct.Row("1+1 protection", costs.OnePlusOneMonthly(km, 0, km*2, 0), onePlusOne.Round(time.Millisecond).String())
+	res.Tables = append(res.Tables, ct)
+
+	res.value("setup_s", setup.Seconds())
+	res.value("manual_outage_s", manual.Seconds())
+	res.value("oneplusone_outage_s", onePlusOne.Seconds())
+	res.value("restore_outage_s", restore.Seconds())
+	res.value("roll_hit_s", rollHit.Seconds())
+	res.value("window_hit_s", windowHit.Seconds())
+	res.notef("ordering holds: 1+1 (ms) < restoration (min) < manual (hours); setup minutes vs weeks")
+	return res, nil
+}
+
+// measureOutage provisions one testbed wavelength under the given scheme,
+// cuts its first link and returns the resulting outage.
+func measureOutage(seed int64, p core.Protection, autoRepair bool) (time.Duration, error) {
+	k := sim.NewKernel(seed)
+	ctrl, err := core.New(k, topo.Testbed(), core.Config{AutoRepair: autoRepair})
+	if err != nil {
+		return 0, err
+	}
+	conn, job, err := ctrl.Connect(core.Request{
+		Customer: "bench", From: "DC-A", To: "DC-C", Rate: bw.Rate10G, Protect: p,
+	})
+	if err != nil {
+		return 0, err
+	}
+	k.Run()
+	if job.Err() != nil {
+		return 0, job.Err()
+	}
+	if err := ctrl.CutFiber(conn.Route().Links[0]); err != nil {
+		return 0, err
+	}
+	k.Run()
+	return conn.TotalOutage, nil
+}
+
+// measureMaintenance returns the traffic hit of a maintenance window with
+// bridge-and-roll (mesh testbed) and without it (line topology where the
+// connection cannot move).
+func measureMaintenance(seed int64) (rollHit, windowHit time.Duration, err error) {
+	// With bridge-and-roll on the testbed.
+	k := sim.NewKernel(seed)
+	ctrl, err := core.New(k, topo.Testbed(), core.Config{})
+	if err != nil {
+		return 0, 0, err
+	}
+	conn, job, err := ctrl.Connect(core.Request{Customer: "bench", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	if err != nil {
+		return 0, 0, err
+	}
+	k.Run()
+	if job.Err() != nil {
+		return 0, 0, job.Err()
+	}
+	link := conn.Route().Links[0]
+	if _, _, err := ctrl.ScheduleMaintenance(link, k.Now().Add(time.Minute), 2*time.Hour); err != nil {
+		return 0, 0, err
+	}
+	k.Run()
+	rollHit = conn.TotalOutage
+
+	// Without a disjoint path (today's manual handling hits traffic for
+	// the window).
+	g := topo.New()
+	g.AddNode(topo.Node{ID: "A", HasOTN: true}) //nolint:errcheck // fixed builder
+	g.AddNode(topo.Node{ID: "B", HasOTN: true}) //nolint:errcheck // fixed builder
+	g.AddLink(topo.Link{ID: "A-B", A: "A", B: "B", KM: 100})
+	g.AddSite(topo.Site{ID: "S1", Home: "A", AccessGbps: 40})
+	g.AddSite(topo.Site{ID: "S2", Home: "B", AccessGbps: 40})
+	k2 := sim.NewKernel(seed + 1)
+	ctrl2, err := core.New(k2, g, core.Config{})
+	if err != nil {
+		return 0, 0, err
+	}
+	conn2, job2, err := ctrl2.Connect(core.Request{Customer: "bench", From: "S1", To: "S2", Rate: bw.Rate10G})
+	if err != nil {
+		return 0, 0, err
+	}
+	k2.Run()
+	if job2.Err() != nil {
+		return 0, 0, job2.Err()
+	}
+	if _, _, err := ctrl2.ScheduleMaintenance("A-B", k2.Now().Add(time.Minute), 2*time.Hour); err != nil {
+		return 0, 0, err
+	}
+	k2.Run()
+	windowHit = conn2.TotalOutage
+	return rollHit, windowHit, nil
+}

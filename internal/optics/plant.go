@@ -1,0 +1,188 @@
+package optics
+
+import (
+	"fmt"
+
+	"griphon/internal/bw"
+	"griphon/internal/topo"
+)
+
+// Config sizes the photonic plant built over a topology.
+type Config struct {
+	// Channels is the DWDM grid size per fiber (40–100 in deployed
+	// systems, paper §2.1).
+	Channels int
+	// ReachKM is the optical reach: the maximum transparent distance
+	// before OEO regeneration is required.
+	ReachKM float64
+	// ReachByRate optionally overrides reach per line rate — higher rates
+	// tolerate less dispersion/OSNR degradation, so a 40G signal needs
+	// regeneration sooner than a 10G one. Rates not listed use ReachKM.
+	ReachByRate map[bw.Rate]float64
+	// OTsPerNode is the default transponder pool size at each node, split
+	// between 10G and 40G line rates.
+	OTsPerNode int
+	// RegensPerNode is the default regenerator pool size at each node.
+	RegensPerNode int
+	// OTOverride sets a specific pool size for individual nodes.
+	OTOverride map[topo.NodeID]int
+	// RegenOverride sets a specific regen pool size for individual nodes.
+	RegenOverride map[topo.NodeID]int
+}
+
+// DefaultConfig returns the plant sizing used by the experiments: an 80
+// channel grid, 2500 km reach, 8 OTs and 2 REGENs per node.
+func DefaultConfig() Config {
+	return Config{
+		Channels:      80,
+		ReachKM:       2500,
+		OTsPerNode:    8,
+		RegensPerNode: 2,
+	}
+}
+
+// Plant is the instantiated photonic layer: per-link spectra, per-node device
+// banks, and fiber operational state.
+type Plant struct {
+	g       *topo.Graph
+	cfg     Config
+	spectra map[topo.LinkID]*Spectrum
+	ots     map[topo.NodeID]*OTBank
+	regens  map[topo.NodeID]*RegenBank
+	down    map[topo.LinkID]bool
+}
+
+// NewPlant builds the photonic plant for g. Each node gets a transponder bank
+// (half 10G, half 40G line rate, rounded so at least one of each when the
+// pool allows) and a regenerator bank.
+func NewPlant(g *topo.Graph, cfg Config) (*Plant, error) {
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("optics: config needs a positive channel count")
+	}
+	if cfg.ReachKM <= 0 {
+		return nil, fmt.Errorf("optics: config needs a positive reach")
+	}
+	p := &Plant{
+		g:       g,
+		cfg:     cfg,
+		spectra: make(map[topo.LinkID]*Spectrum),
+		ots:     make(map[topo.NodeID]*OTBank),
+		regens:  make(map[topo.NodeID]*RegenBank),
+		down:    make(map[topo.LinkID]bool),
+	}
+	for _, l := range g.Links() {
+		p.spectra[l.ID] = NewSpectrum(cfg.Channels)
+	}
+	for _, n := range g.Nodes() {
+		nOTs := cfg.OTsPerNode
+		if v, ok := cfg.OTOverride[n.ID]; ok {
+			nOTs = v
+		}
+		var ots []*OT
+		for i := 0; i < nOTs; i++ {
+			rate := bw.Rate10G
+			if i%2 == 1 {
+				rate = bw.Rate40G
+			}
+			ots = append(ots, &OT{
+				ID:      fmt.Sprintf("OT-%s-%02d", n.ID, i),
+				Node:    n.ID,
+				MaxRate: rate,
+			})
+		}
+		p.ots[n.ID] = NewOTBank(n.ID, ots)
+
+		nRg := cfg.RegensPerNode
+		if v, ok := cfg.RegenOverride[n.ID]; ok {
+			nRg = v
+		}
+		var rgs []*Regen
+		for i := 0; i < nRg; i++ {
+			rgs = append(rgs, &Regen{
+				ID:      fmt.Sprintf("RG-%s-%02d", n.ID, i),
+				Node:    n.ID,
+				MaxRate: bw.Rate40G,
+			})
+		}
+		p.regens[n.ID] = NewRegenBank(n.ID, rgs)
+	}
+	return p, nil
+}
+
+// Graph returns the underlying topology.
+func (p *Plant) Graph() *topo.Graph { return p.g }
+
+// Config returns the plant sizing.
+func (p *Plant) Config() Config { return p.cfg }
+
+// ReachFor returns the optical reach for a line rate: the per-rate override
+// when configured, the default otherwise. A zero rate always gets the
+// default.
+func (p *Plant) ReachFor(rate bw.Rate) float64 {
+	if rate > 0 {
+		if km, ok := p.cfg.ReachByRate[rate]; ok && km > 0 {
+			return km
+		}
+	}
+	return p.cfg.ReachKM
+}
+
+// Spectrum returns the wavelength occupancy of a link, or nil if unknown.
+func (p *Plant) Spectrum(id topo.LinkID) *Spectrum { return p.spectra[id] }
+
+// OTs returns the transponder bank at a node, or nil if unknown.
+func (p *Plant) OTs(id topo.NodeID) *OTBank { return p.ots[id] }
+
+// Regens returns the regenerator bank at a node, or nil if unknown.
+func (p *Plant) Regens(id topo.NodeID) *RegenBank { return p.regens[id] }
+
+// LinkUp reports whether a fiber is operational.
+func (p *Plant) LinkUp(id topo.LinkID) bool { return !p.down[id] }
+
+// SetLinkUp marks a fiber up or down (a fiber cut takes every wavelength on
+// it with it; alarm generation is the alarms package's job).
+func (p *Plant) SetLinkUp(id topo.LinkID, up bool) {
+	if up {
+		delete(p.down, id)
+	} else {
+		p.down[id] = true
+	}
+}
+
+// DownLinks returns the currently failed links in sorted order.
+func (p *Plant) DownLinks() []topo.LinkID {
+	out := make([]topo.LinkID, 0, len(p.down))
+	for id := range p.down {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// PathUp reports whether every link of the path is operational.
+func (p *Plant) PathUp(path topo.Path) bool {
+	for _, l := range path.Links {
+		if !p.LinkUp(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContinuityChannels returns the channels simultaneously free on every link
+// of the given transparent segment (ascending). An unknown link yields nil.
+func (p *Plant) ContinuityChannels(links []topo.LinkID) []Channel {
+	spectra := make([]*Spectrum, 0, len(links))
+	for _, id := range links {
+		s := p.spectra[id]
+		if s == nil {
+			return nil
+		}
+		spectra = append(spectra, s)
+	}
+	return IntersectFree(spectra)
+}

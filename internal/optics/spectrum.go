@@ -1,0 +1,118 @@
+// Package optics models the photonic plant of the DWDM layer: the wavelength
+// grid on every fiber, tunable optical transponders (OTs) and regenerators
+// (REGENs) pooled at each ROADM node, optical reach, and fiber operational
+// state. It owns physical-resource accounting; path selection lives in
+// internal/rwa and orchestration in internal/core.
+package optics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Channel is a DWDM grid channel number, 1-based. Channel 0 is invalid.
+type Channel int
+
+// Spectrum tracks wavelength occupancy on one fiber pair. A modern DWDM
+// system carries 40–100 channels (paper §2.1); each channel is either free or
+// owned by exactly one connection.
+type Spectrum struct {
+	channels int
+	owner    map[Channel]string
+}
+
+// NewSpectrum returns a spectrum with the given channel count.
+func NewSpectrum(channels int) *Spectrum {
+	if channels <= 0 {
+		panic(fmt.Sprintf("optics: non-positive channel count %d", channels))
+	}
+	return &Spectrum{channels: channels, owner: make(map[Channel]string)}
+}
+
+// Channels returns the grid size.
+func (s *Spectrum) Channels() int { return s.channels }
+
+// Used returns the number of occupied channels.
+func (s *Spectrum) Used() int { return len(s.owner) }
+
+// IsFree reports whether ch is within the grid and unoccupied.
+func (s *Spectrum) IsFree(ch Channel) bool {
+	if ch < 1 || int(ch) > s.channels {
+		return false
+	}
+	_, used := s.owner[ch]
+	return !used
+}
+
+// Owner returns the owner of ch, or "" if free or out of range.
+func (s *Spectrum) Owner(ch Channel) string { return s.owner[ch] }
+
+// Reserve marks ch as owned by owner. It fails on out-of-range or occupied
+// channels and on an empty owner.
+func (s *Spectrum) Reserve(ch Channel, owner string) error {
+	if owner == "" {
+		return fmt.Errorf("optics: empty owner")
+	}
+	if ch < 1 || int(ch) > s.channels {
+		return fmt.Errorf("optics: channel %d outside 1..%d", ch, s.channels)
+	}
+	if cur, used := s.owner[ch]; used {
+		return fmt.Errorf("optics: channel %d already owned by %s", ch, cur)
+	}
+	s.owner[ch] = owner
+	return nil
+}
+
+// Release frees ch. Releasing a free channel is an error: it indicates a
+// double-release bug.
+func (s *Spectrum) Release(ch Channel) error {
+	if _, used := s.owner[ch]; !used {
+		return fmt.Errorf("optics: releasing free channel %d", ch)
+	}
+	delete(s.owner, ch)
+	return nil
+}
+
+// FreeChannels returns all free channels in ascending order.
+func (s *Spectrum) FreeChannels() []Channel {
+	out := make([]Channel, 0, s.channels-len(s.owner))
+	for ch := Channel(1); int(ch) <= s.channels; ch++ {
+		if _, used := s.owner[ch]; !used {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// UsedChannels returns all occupied channels in ascending order.
+func (s *Spectrum) UsedChannels() []Channel {
+	out := make([]Channel, 0, len(s.owner))
+	for ch := range s.owner {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IntersectFree returns the channels free on every spectrum in the slice, in
+// ascending order — the wavelength-continuity constraint for a transparent
+// segment. With no spectra it returns nil.
+func IntersectFree(spectra []*Spectrum) []Channel {
+	if len(spectra) == 0 {
+		return nil
+	}
+	var out []Channel
+	for _, ch := range spectra[0].FreeChannels() {
+		ok := true
+		for _, s := range spectra[1:] {
+			if !s.IsFree(ch) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, ch)
+		}
+	}
+	return out
+}

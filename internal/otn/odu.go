@@ -1,0 +1,95 @@
+// Package otn models the Optical Transport Network layer of paper §2.1/§2.2:
+// ITU G.709 digital containers (ODU0..ODU3), OTN switches that cross-connect
+// at ODU0 (1.25 Gb/s) granularity, line pipes carried over DWDM wavelengths,
+// tributary-slot grooming, and sub-second shared-mesh restoration. The OTN
+// layer is what lets GRIPhoN sell 1 Gb/s BoD circuits without burning a whole
+// wavelength per customer.
+package otn
+
+import (
+	"fmt"
+
+	"griphon/internal/bw"
+)
+
+// Level is an ODU container level.
+type Level int
+
+const (
+	// ODU0 carries a 1GbE client in one 1.25G tributary slot.
+	ODU0 Level = iota
+	// ODU1 carries a 2.5G client in two slots.
+	ODU1
+	// ODU2 carries a 10G client in eight slots.
+	ODU2
+	// ODU3 carries a 40G client in thirty-two slots.
+	ODU3
+)
+
+// SlotRate is the bandwidth of one tributary slot.
+const SlotRate = bw.Rate(1.25e9)
+
+// Slots returns the number of 1.25G tributary slots the level occupies.
+func (l Level) Slots() int {
+	switch l {
+	case ODU0:
+		return 1
+	case ODU1:
+		return 2
+	case ODU2:
+		return 8
+	case ODU3:
+		return 32
+	}
+	return 0
+}
+
+// ClientRate returns the nominal client rate the level carries.
+func (l Level) ClientRate() bw.Rate {
+	switch l {
+	case ODU0:
+		return bw.Rate1G
+	case ODU1:
+		return bw.Rate2G5
+	case ODU2:
+		return bw.Rate10G
+	case ODU3:
+		return bw.Rate40G
+	}
+	return 0
+}
+
+func (l Level) String() string {
+	if l >= ODU0 && l <= ODU3 {
+		return fmt.Sprintf("ODU%d", int(l))
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// LevelFor returns the smallest ODU level whose client rate carries r.
+func LevelFor(r bw.Rate) (Level, error) {
+	switch {
+	case r <= 0:
+		return 0, fmt.Errorf("otn: non-positive rate %v", r)
+	case r <= bw.Rate1G:
+		return ODU0, nil
+	case r <= bw.Rate2G5:
+		return ODU1, nil
+	case r <= bw.Rate10G:
+		return ODU2, nil
+	case r <= bw.Rate40G:
+		return ODU3, nil
+	default:
+		return 0, fmt.Errorf("otn: rate %v exceeds ODU3", r)
+	}
+}
+
+// SlotsFor returns the number of tributary slots needed to carry r
+// (the slot count of its ODU level).
+func SlotsFor(r bw.Rate) (int, error) {
+	l, err := LevelFor(r)
+	if err != nil {
+		return 0, err
+	}
+	return l.Slots(), nil
+}

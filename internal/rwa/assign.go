@@ -1,0 +1,88 @@
+package rwa
+
+import (
+	"fmt"
+
+	"griphon/internal/optics"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// AssignPolicy selects how a wavelength is chosen among the channels that are
+// free on every link of a transparent segment.
+type AssignPolicy int
+
+const (
+	// FirstFit picks the lowest-numbered common free channel. Simple and
+	// packs the spectrum from the bottom; the default.
+	FirstFit AssignPolicy = iota
+	// MostUsed picks the common free channel that is busiest elsewhere in
+	// the network, concentrating usage so future paths find whole
+	// channels free (needs global state, like a real controller has).
+	MostUsed
+	// LeastUsed picks the globally least-used common free channel,
+	// spreading load (usually worse; kept as an ablation baseline).
+	LeastUsed
+	// RandomFit picks uniformly at random among common free channels.
+	RandomFit
+)
+
+func (p AssignPolicy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case MostUsed:
+		return "most-used"
+	case LeastUsed:
+		return "least-used"
+	case RandomFit:
+		return "random"
+	}
+	return fmt.Sprintf("AssignPolicy(%d)", int(p))
+}
+
+// AssignWavelength chooses a channel free on every link in links, under the
+// policy. rng is only required for RandomFit. It fails when no common free
+// channel exists (wavelength blocking).
+func AssignWavelength(plant *optics.Plant, links []topo.LinkID, policy AssignPolicy, rng *sim.Rand) (optics.Channel, error) {
+	if len(links) == 0 {
+		return 0, fmt.Errorf("rwa: no links to assign a wavelength on")
+	}
+	free := plant.ContinuityChannels(links)
+	if len(free) == 0 {
+		return 0, fmt.Errorf("rwa: no common free wavelength on %v", links)
+	}
+	switch policy {
+	case FirstFit:
+		return free[0], nil
+	case RandomFit:
+		if rng == nil {
+			return 0, fmt.Errorf("rwa: RandomFit needs a random source")
+		}
+		return free[rng.Intn(len(free))], nil
+	case MostUsed, LeastUsed:
+		usage := channelUsage(plant)
+		best := free[0]
+		bestU := usage[best]
+		for _, ch := range free[1:] {
+			u := usage[ch]
+			if (policy == MostUsed && u > bestU) || (policy == LeastUsed && u < bestU) {
+				best, bestU = ch, u
+			}
+		}
+		return best, nil
+	default:
+		return 0, fmt.Errorf("rwa: unknown policy %v", policy)
+	}
+}
+
+// channelUsage counts, for every channel, how many links currently carry it.
+func channelUsage(plant *optics.Plant) map[optics.Channel]int {
+	usage := make(map[optics.Channel]int)
+	for _, l := range plant.Graph().Links() {
+		for _, ch := range plant.Spectrum(l.ID).UsedChannels() {
+			usage[ch]++
+		}
+	}
+	return usage
+}

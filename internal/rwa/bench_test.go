@@ -1,0 +1,69 @@
+package rwa
+
+import (
+	"testing"
+
+	"griphon/internal/optics"
+	"griphon/internal/topo"
+)
+
+func BenchmarkShortestPathBackbone(b *testing.B) {
+	g := topo.Backbone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShortestPath(g, "SEA", "ATL", ByKM, Constraints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKShortestBackbone(b *testing.B) {
+	g := topo.Backbone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KShortest(g, "SEA", "ATL", 4, ByHops, Constraints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindRouteBackbone(b *testing.B) {
+	g := topo.Backbone()
+	plant, err := optics.NewPlant(g, optics.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindRoute(plant, "SEA", "NYC", Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindRouteGrid64(b *testing.B) {
+	g, err := topo.Grid(8, 8, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plant, err := optics.NewPlant(g, optics.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindRoute(plant, "G0000", "G0707", Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisjointPair(b *testing.B) {
+	g := topo.Backbone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DisjointPair(g, "SEA", "ATL", 4, ByHops, Constraints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package rwa implements routing and wavelength assignment for the DWDM
+// layer: shortest and k-shortest path search, link-disjoint path pairs (for
+// 1+1 protection and bridge-and-roll), and wavelength-assignment policies
+// honouring the wavelength-continuity constraint between regeneration points.
+package rwa
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"griphon/internal/topo"
+)
+
+// Metric selects the edge weight used by path search.
+type Metric int
+
+const (
+	// ByHops minimizes the number of fiber links (what the prototype's
+	// Table 2 varies).
+	ByHops Metric = iota
+	// ByKM minimizes total span length and therefore latency.
+	ByKM
+)
+
+func (m Metric) String() string {
+	switch m {
+	case ByHops:
+		return "hops"
+	case ByKM:
+		return "km"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// ErrNoPath is returned when the destination is unreachable under the given
+// constraints.
+var ErrNoPath = errors.New("rwa: no path")
+
+// Constraints restricts path search. The zero value imposes nothing.
+type Constraints struct {
+	// AvoidLinks are links the path must not traverse (failed fibers,
+	// links of the path being protected, maintenance targets).
+	AvoidLinks map[topo.LinkID]bool
+	// AvoidNodes are nodes the path must not visit (the endpoints are
+	// always allowed).
+	AvoidNodes map[topo.NodeID]bool
+}
+
+func (c Constraints) linkOK(id topo.LinkID) bool { return !c.AvoidLinks[id] }
+func (c Constraints) nodeOK(id topo.NodeID) bool { return !c.AvoidNodes[id] }
+
+func weight(l *topo.Link, m Metric) float64 {
+	if m == ByKM {
+		return l.KM
+	}
+	return 1
+}
+
+type pqItem struct {
+	node  topo.NodeID
+	dist  float64
+	index int
+}
+
+type nodePQ []*pqItem
+
+func (q nodePQ) Len() int { return len(q) }
+func (q nodePQ) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node // deterministic tie-break
+}
+func (q nodePQ) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *nodePQ) Push(x any) {
+	it := x.(*pqItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *nodePQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-weight path from src to dst under the
+// metric and constraints. Ties break deterministically (lowest node/link ID).
+func ShortestPath(g *topo.Graph, src, dst topo.NodeID, m Metric, c Constraints) (topo.Path, error) {
+	if g.Node(src) == nil {
+		return topo.Path{}, fmt.Errorf("rwa: unknown source %s", src)
+	}
+	if g.Node(dst) == nil {
+		return topo.Path{}, fmt.Errorf("rwa: unknown destination %s", dst)
+	}
+	if src == dst {
+		return topo.Path{}, fmt.Errorf("rwa: source equals destination %s", src)
+	}
+
+	dist := map[topo.NodeID]float64{src: 0}
+	prevLink := map[topo.NodeID]topo.LinkID{}
+	prevNode := map[topo.NodeID]topo.NodeID{}
+	visited := map[topo.NodeID]bool{}
+
+	pq := &nodePQ{}
+	heap.Push(pq, &pqItem{node: src, dist: 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*pqItem)
+		if visited[it.node] {
+			continue
+		}
+		visited[it.node] = true
+		if it.node == dst {
+			break
+		}
+		for _, l := range g.LinksAt(it.node) {
+			if !c.linkOK(l.ID) {
+				continue
+			}
+			o := l.Other(it.node)
+			if visited[o] {
+				continue
+			}
+			if o != dst && o != src && !c.nodeOK(o) {
+				continue
+			}
+			nd := it.dist + weight(l, m)
+			cur, seen := dist[o]
+			better := !seen || nd < cur
+			// Deterministic tie-break on equal distance: prefer the
+			// lexicographically smaller predecessor link.
+			if seen && nd == cur && l.ID < prevLink[o] {
+				better = true
+			}
+			if better {
+				dist[o] = nd
+				prevLink[o] = l.ID
+				prevNode[o] = it.node
+				heap.Push(pq, &pqItem{node: o, dist: nd})
+			}
+		}
+	}
+	if !visited[dst] {
+		return topo.Path{}, ErrNoPath
+	}
+
+	// Walk predecessors back from dst.
+	var nodes []topo.NodeID
+	var links []topo.LinkID
+	for n := dst; ; {
+		nodes = append(nodes, n)
+		if n == src {
+			break
+		}
+		links = append(links, prevLink[n])
+		n = prevNode[n]
+	}
+	// Reverse into src->dst order.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	p := topo.Path{Nodes: nodes, Links: links}
+	if err := p.Validate(g); err != nil {
+		return topo.Path{}, fmt.Errorf("rwa: internal path error: %w", err)
+	}
+	return p, nil
+}
+
+// PathWeight returns the path's total weight under the metric.
+func PathWeight(g *topo.Graph, p topo.Path, m Metric) float64 {
+	var w float64
+	for _, id := range p.Links {
+		if l := g.Link(id); l != nil {
+			w += weight(l, m)
+		}
+	}
+	return w
+}
+
+// PropagationDelay returns the one-way light propagation delay of the path,
+// at ~4.9 microseconds per fiber kilometre.
+func PropagationDelay(g *topo.Graph, p topo.Path) float64 {
+	return p.KM(g) * 4.9e-6 // seconds
+}

@@ -1,0 +1,155 @@
+package rwa
+
+import (
+	"sort"
+
+	"griphon/internal/topo"
+)
+
+// KShortest returns up to k loop-free paths from src to dst in non-decreasing
+// weight order (Yen's algorithm). It returns ErrNoPath if not even one path
+// exists.
+func KShortest(g *topo.Graph, src, dst topo.NodeID, k int, m Metric, c Constraints) ([]topo.Path, error) {
+	if k <= 0 {
+		k = 1
+	}
+	first, err := ShortestPath(g, src, dst, m, c)
+	if err != nil {
+		return nil, err
+	}
+	paths := []topo.Path{first}
+	var candidates []topo.Path
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// For each node of the previous path except the last, branch.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spurNode := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootLinks := prev.Links[:i]
+
+			avoidLinks := map[topo.LinkID]bool{}
+			for id := range c.AvoidLinks {
+				avoidLinks[id] = true
+			}
+			// Remove the links that previous accepted paths take out
+			// of this same root, so the spur diverges.
+			for _, p := range paths {
+				if sharesRoot(p, rootNodes, rootLinks) && i < len(p.Links) {
+					avoidLinks[p.Links[i]] = true
+				}
+			}
+			for _, cand := range candidates {
+				if sharesRoot(cand, rootNodes, rootLinks) && i < len(cand.Links) {
+					avoidLinks[cand.Links[i]] = true
+				}
+			}
+			// Exclude root nodes (other than the spur node) so the
+			// total path stays loop-free.
+			avoidNodes := map[topo.NodeID]bool{}
+			for id := range c.AvoidNodes {
+				avoidNodes[id] = true
+			}
+			for _, n := range rootNodes[:i] {
+				avoidNodes[n] = true
+			}
+
+			spur, err := ShortestPath(g, spurNode, dst, m, Constraints{
+				AvoidLinks: avoidLinks,
+				AvoidNodes: avoidNodes,
+			})
+			if err != nil {
+				continue
+			}
+			total := topo.Path{
+				Nodes: append(append([]topo.NodeID(nil), rootNodes...), spur.Nodes[1:]...),
+				Links: append(append([]topo.LinkID(nil), rootLinks...), spur.Links...),
+			}
+			if total.Validate(g) != nil {
+				continue
+			}
+			if containsPath(paths, total) || containsPath(candidates, total) {
+				continue
+			}
+			candidates = append(candidates, total)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			wa, wb := PathWeight(g, candidates[a], m), PathWeight(g, candidates[b], m)
+			if wa != wb {
+				return wa < wb
+			}
+			return candidates[a].String() < candidates[b].String()
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func sharesRoot(p topo.Path, rootNodes []topo.NodeID, rootLinks []topo.LinkID) bool {
+	if len(p.Nodes) < len(rootNodes) || len(p.Links) < len(rootLinks) {
+		return false
+	}
+	for i, n := range rootNodes {
+		if p.Nodes[i] != n {
+			return false
+		}
+	}
+	for i, l := range rootLinks {
+		if p.Links[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []topo.Path, q topo.Path) bool {
+	for _, p := range ps {
+		if p.Equal(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// DisjointPair returns a link-disjoint (primary, backup) path pair with small
+// total weight. It tries each of the kPrimaries shortest paths as the
+// primary, pairing it with the shortest path avoiding the primary's links,
+// and keeps the pair with the lowest combined weight. This removal-based
+// heuristic is not always optimal (unlike Suurballe) but finds a pair
+// whenever one of the candidate primaries admits one.
+func DisjointPair(g *topo.Graph, src, dst topo.NodeID, kPrimaries int, m Metric, c Constraints) (primary, backup topo.Path, err error) {
+	if kPrimaries <= 0 {
+		kPrimaries = 4
+	}
+	prims, err := KShortest(g, src, dst, kPrimaries, m, c)
+	if err != nil {
+		return topo.Path{}, topo.Path{}, err
+	}
+	best := -1.0
+	for _, p := range prims {
+		avoid := map[topo.LinkID]bool{}
+		for id := range c.AvoidLinks {
+			avoid[id] = true
+		}
+		for _, l := range p.Links {
+			avoid[l] = true
+		}
+		b, err := ShortestPath(g, src, dst, m, Constraints{AvoidLinks: avoid, AvoidNodes: c.AvoidNodes})
+		if err != nil {
+			continue
+		}
+		total := PathWeight(g, p, m) + PathWeight(g, b, m)
+		if best < 0 || total < best {
+			best = total
+			primary, backup = p, b
+		}
+	}
+	if best < 0 {
+		return topo.Path{}, topo.Path{}, ErrNoPath
+	}
+	return primary, backup, nil
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+func BenchmarkTimerStop(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := k.After(time.Hour, func() {})
+		t.Stop()
+	}
+	k.Run()
+}
+
+func BenchmarkJobChain(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seq := NewSequence(k).
+			ThenWait(time.Second).
+			ThenDo(func() error { return nil }).
+			ThenWait(time.Second)
+		seq.Go()
+		if i%256 == 255 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+func BenchmarkRandDistributions(b *testing.B) {
+	r := NewRand(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.ExpDuration(time.Minute)
+		_ = r.Jitter(time.Second, 0.05)
+	}
+}

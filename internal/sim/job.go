@@ -1,0 +1,162 @@
+package sim
+
+// Job is a handle to asynchronous simulated work: an EMS configuration run,
+// a multi-step connection setup, a repair. A job completes exactly once, with
+// or without an error; callbacks registered before completion fire when it
+// completes, callbacks registered after fire immediately (via Defer, so
+// ordering stays deterministic).
+type Job struct {
+	k     *Kernel
+	done  bool
+	err   error
+	start Time
+	end   Time
+	cbs   []func(error)
+}
+
+// NewJob returns a fresh, incomplete job stamped with the current time.
+func (k *Kernel) NewJob() *Job {
+	return &Job{k: k, start: k.now}
+}
+
+// CompletedJob returns a job that is already complete with err, useful when a
+// code path finishes synchronously but the caller expects a Job.
+func (k *Kernel) CompletedJob(err error) *Job {
+	j := k.NewJob()
+	j.Complete(err)
+	return j
+}
+
+// Done reports whether the job has completed.
+func (j *Job) Done() bool { return j.done }
+
+// Err returns the job's error. It is only meaningful once Done is true.
+func (j *Job) Err() error { return j.err }
+
+// Start returns the virtual time the job was created.
+func (j *Job) Start() Time { return j.start }
+
+// End returns the virtual time the job completed. Zero until Done.
+func (j *Job) End() Time { return j.end }
+
+// Elapsed returns End-Start for a completed job.
+func (j *Job) Elapsed() Duration { return j.end.Sub(j.start) }
+
+// Complete marks the job done with err and fires pending callbacks in
+// registration order. Completing twice panics: it always indicates a
+// double-callback bug in the caller.
+func (j *Job) Complete(err error) {
+	if j.done {
+		panic("sim: job completed twice")
+	}
+	j.done = true
+	j.err = err
+	j.end = j.k.now
+	cbs := j.cbs
+	j.cbs = nil
+	for _, cb := range cbs {
+		cb(err)
+	}
+}
+
+// OnDone registers fn to run when the job completes. If the job is already
+// complete, fn is deferred to the current instant.
+func (j *Job) OnDone(fn func(error)) {
+	if j.done {
+		err := j.err
+		j.k.Defer(func() { fn(err) })
+		return
+	}
+	j.cbs = append(j.cbs, fn)
+}
+
+// AfterJob returns a job that completes with err after d of virtual time —
+// the simulation analogue of a blocking call with a known latency.
+func (k *Kernel) AfterJob(d Duration, err error) *Job {
+	j := k.NewJob()
+	k.After(d, func() { j.Complete(err) })
+	return j
+}
+
+// All returns a job that completes when every input job has completed. Its
+// error is the first (by completion order) non-nil error among them. With no
+// inputs it completes at the current instant.
+func All(k *Kernel, jobs ...*Job) *Job {
+	out := k.NewJob()
+	if len(jobs) == 0 {
+		k.Defer(func() { out.Complete(nil) })
+		return out
+	}
+	remaining := len(jobs)
+	var firstErr error
+	for _, j := range jobs {
+		j.OnDone(func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				out.Complete(firstErr)
+			}
+		})
+	}
+	return out
+}
+
+// Sequence runs simulated steps one after another, each step starting when
+// the previous one's job completes. A step returning a nil job is treated as
+// instantaneous. The sequence stops at the first error.
+type Sequence struct {
+	k     *Kernel
+	steps []func() *Job
+	job   *Job
+}
+
+// NewSequence returns an empty sequence whose completion is observable via
+// Job.
+func NewSequence(k *Kernel) *Sequence {
+	return &Sequence{k: k, job: k.NewJob()}
+}
+
+// Then appends a step and returns the sequence for chaining.
+func (s *Sequence) Then(step func() *Job) *Sequence {
+	s.steps = append(s.steps, step)
+	return s
+}
+
+// ThenWait appends a step that simply waits d.
+func (s *Sequence) ThenWait(d Duration) *Sequence {
+	return s.Then(func() *Job { return s.k.AfterJob(d, nil) })
+}
+
+// ThenDo appends an instantaneous step that may fail.
+func (s *Sequence) ThenDo(fn func() error) *Sequence {
+	return s.Then(func() *Job { return s.k.CompletedJob(fn()) })
+}
+
+// Job returns the job that completes when the whole sequence finishes.
+func (s *Sequence) Job() *Job { return s.job }
+
+// Go starts the sequence and returns its job.
+func (s *Sequence) Go() *Job {
+	s.runFrom(0)
+	return s.job
+}
+
+func (s *Sequence) runFrom(i int) {
+	if i >= len(s.steps) {
+		s.job.Complete(nil)
+		return
+	}
+	j := s.steps[i]()
+	if j == nil {
+		j = s.k.CompletedJob(nil)
+	}
+	j.OnDone(func(err error) {
+		if err != nil {
+			s.job.Complete(err)
+			return
+		}
+		s.runFrom(i + 1)
+	})
+}

@@ -1,0 +1,183 @@
+package topo
+
+import "fmt"
+
+// Testbed builds the GRIPhoN laboratory prototype topology of paper Fig. 4:
+// four ROADMs — two 3-degree (I, III) and two 2-degree (II, IV) — and three
+// customer premises that could each host a data center. The three paths
+// measured in Table 2 exist by construction: I-IV (1 hop), I-III-IV (2 hops)
+// and I-II-III-IV (3 hops).
+//
+// Span lengths are regional-scale stand-ins (the lab used fiber spools); they
+// keep every testbed path within optical reach, matching the prototype, which
+// needed no regeneration.
+func Testbed() *Graph {
+	g := New()
+	for _, n := range []Node{
+		{ID: "I", HasOTN: true},
+		{ID: "II", HasOTN: false},
+		{ID: "III", HasOTN: true},
+		{ID: "IV", HasOTN: true},
+	} {
+		mustAddNode(g, n)
+	}
+	for _, l := range []Link{
+		{ID: "I-II", A: "I", B: "II", KM: 300},
+		{ID: "I-III", A: "I", B: "III", KM: 310},
+		{ID: "I-IV", A: "I", B: "IV", KM: 320},
+		{ID: "II-III", A: "II", B: "III", KM: 290},
+		{ID: "III-IV", A: "III", B: "IV", KM: 280},
+	} {
+		mustAddLink(g, l)
+	}
+	// Three customer premises (paper Fig. 4), each with a 40G muxponder
+	// line side as the dedicated access pipe.
+	for _, s := range []Site{
+		{ID: "DC-A", Home: "I", AccessGbps: 40},
+		{ID: "DC-B", Home: "III", AccessGbps: 40},
+		{ID: "DC-C", Home: "IV", AccessGbps: 40},
+	} {
+		mustAddSite(g, s)
+	}
+	return g
+}
+
+// Backbone builds an NSFNET-like 14-node, 21-link continental US backbone
+// with realistic span lengths, used for the load, restoration and bulk
+// transfer experiments that need more scale than the 4-node testbed. Six of
+// the PoPs serve data-center sites.
+func Backbone() *Graph {
+	g := New()
+	otn := map[NodeID]bool{
+		"SEA": true, "PAO": true, "SDG": true, "HOU": true,
+		"CHI": true, "ATL": true, "NYC": true, "DCX": true,
+	}
+	for _, id := range []NodeID{
+		"SEA", "PAO", "SDG", "SLC", "DEN", "HOU", "LIN",
+		"CHI", "PIT", "ANN", "ITH", "NYC", "DCX", "ATL",
+	} {
+		mustAddNode(g, Node{ID: id, HasOTN: otn[id]})
+	}
+	for _, l := range []Link{
+		{ID: "SEA-PAO", A: "SEA", B: "PAO", KM: 1100},
+		{ID: "SEA-SDG", A: "SEA", B: "SDG", KM: 1900},
+		{ID: "SEA-CHI", A: "SEA", B: "CHI", KM: 2800},
+		{ID: "PAO-SDG", A: "PAO", B: "SDG", KM: 700},
+		{ID: "PAO-SLC", A: "PAO", B: "SLC", KM: 1000},
+		{ID: "SDG-HOU", A: "SDG", B: "HOU", KM: 2100},
+		{ID: "SLC-DEN", A: "SLC", B: "DEN", KM: 600},
+		{ID: "SLC-ANN", A: "SLC", B: "ANN", KM: 2400},
+		{ID: "DEN-LIN", A: "DEN", B: "LIN", KM: 800},
+		{ID: "DEN-HOU", A: "DEN", B: "HOU", KM: 1400},
+		{ID: "HOU-ATL", A: "HOU", B: "ATL", KM: 1200},
+		{ID: "HOU-DCX", A: "HOU", B: "DCX", KM: 2000},
+		{ID: "LIN-CHI", A: "LIN", B: "CHI", KM: 800},
+		{ID: "CHI-PIT", A: "CHI", B: "PIT", KM: 740},
+		{ID: "CHI-ANN", A: "CHI", B: "ANN", KM: 380},
+		{ID: "PIT-ITH", A: "PIT", B: "ITH", KM: 400},
+		{ID: "PIT-ATL", A: "PIT", B: "ATL", KM: 900},
+		{ID: "ANN-NYC", A: "ANN", B: "NYC", KM: 1000},
+		{ID: "ITH-NYC", A: "ITH", B: "NYC", KM: 350},
+		{ID: "NYC-DCX", A: "NYC", B: "DCX", KM: 330},
+		{ID: "DCX-ATL", A: "DCX", B: "ATL", KM: 870},
+	} {
+		mustAddLink(g, l)
+	}
+	for _, s := range []Site{
+		{ID: "DC-SEA", Home: "SEA", AccessGbps: 40},
+		{ID: "DC-PAO", Home: "PAO", AccessGbps: 40},
+		{ID: "DC-HOU", Home: "HOU", AccessGbps: 40},
+		{ID: "DC-CHI", Home: "CHI", AccessGbps: 40},
+		{ID: "DC-NYC", Home: "NYC", AccessGbps: 40},
+		{ID: "DC-ATL", Home: "ATL", AccessGbps: 40},
+	} {
+		mustAddSite(g, s)
+	}
+	return g
+}
+
+// Ring builds a ring of n nodes (n >= 3) with the given uniform span length.
+// Rings are the worst case for disjoint-path routing and are used by property
+// tests and the re-grooming experiment (a ring plus one chord models "a new
+// route was added").
+func Ring(n int, km float64) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: ring needs at least 3 nodes, got %d", n)
+	}
+	g := New()
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = NodeID(fmt.Sprintf("R%02d", i))
+		mustAddNode(g, Node{ID: ids[i], HasOTN: true})
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		mustAddLink(g, Link{
+			ID: LinkID(fmt.Sprintf("%s-%s", ids[i], ids[j])),
+			A:  ids[i], B: ids[j], KM: km,
+		})
+	}
+	return g, nil
+}
+
+// Grid builds a rows x cols mesh (each node linked to its right and lower
+// neighbour) with uniform span length, a deterministic stand-in for large
+// continental networks in scale tests. Every node hosts an OTN switch; a
+// data-center site attaches at each corner.
+func Grid(rows, cols int, km float64) (*Graph, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("topo: grid needs at least 2x2, got %dx%d", rows, cols)
+	}
+	if km <= 0 {
+		return nil, fmt.Errorf("topo: non-positive span length %.1f", km)
+	}
+	g := New()
+	id := func(r, c int) NodeID { return NodeID(fmt.Sprintf("G%02d%02d", r, c)) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			mustAddNode(g, Node{ID: id(r, c), HasOTN: true})
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAddLink(g, Link{
+					ID: LinkID(fmt.Sprintf("%s-%s", id(r, c), id(r, c+1))),
+					A:  id(r, c), B: id(r, c+1), KM: km,
+				})
+			}
+			if r+1 < rows {
+				mustAddLink(g, Link{
+					ID: LinkID(fmt.Sprintf("%s-%s", id(r, c), id(r+1, c))),
+					A:  id(r, c), B: id(r+1, c), KM: km,
+				})
+			}
+		}
+	}
+	for i, corner := range [][2]int{{0, 0}, {0, cols - 1}, {rows - 1, 0}, {rows - 1, cols - 1}} {
+		mustAddSite(g, Site{
+			ID:         SiteID(fmt.Sprintf("DC-%d", i)),
+			Home:       id(corner[0], corner[1]),
+			AccessGbps: 400,
+		})
+	}
+	return g, nil
+}
+
+func mustAddNode(g *Graph, n Node) {
+	if err := g.AddNode(n); err != nil {
+		panic(err)
+	}
+}
+
+func mustAddLink(g *Graph, l Link) {
+	if err := g.AddLink(l); err != nil {
+		panic(err)
+	}
+}
+
+func mustAddSite(g *Graph, s Site) {
+	if err := g.AddSite(s); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,120 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"griphon/internal/sim"
+)
+
+// Continental generates a continental-scale carrier topology: n PoPs placed
+// uniformly at random on a 4800 x 3000 km plane (roughly CONUS-sized),
+// connected as a Gabriel graph — an edge joins two PoPs when no third PoP
+// lies inside the circle having the pair as diameter. Gabriel graphs are
+// planar, connected, and have the low average degree (~3-4) of real fiber
+// meshes like the DARPA CORONET CONUS topology the paper's program targeted.
+// sites data-center sites attach to distinct, well-separated PoPs.
+//
+// The same seed always yields the same network.
+func Continental(n, sites int, seed int64) (*Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("topo: continental needs at least 4 PoPs, got %d", n)
+	}
+	if sites < 2 || sites > n {
+		return nil, fmt.Errorf("topo: need 2..%d sites, got %d", n, sites)
+	}
+	rng := sim.NewRand(seed)
+	const width, height = 4800.0, 3000.0
+
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Uniform(0, width), rng.Uniform(0, height)}
+	}
+	dist := func(a, b pt) float64 {
+		return math.Hypot(a.x-b.x, a.y-b.y)
+	}
+
+	g := New()
+	ids := make([]NodeID, n)
+	for i := range pts {
+		ids[i] = NodeID(fmt.Sprintf("P%03d", i))
+		if err := g.AddNode(Node{ID: ids[i], HasOTN: true}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Gabriel condition: no third point inside the circle with diameter ab.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cx, cy := (pts[i].x+pts[j].x)/2, (pts[i].y+pts[j].y)/2
+			r2 := dist(pts[i], pts[j]) / 2
+			ok := true
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if math.Hypot(pts[k].x-cx, pts[k].y-cy) < r2 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			km := dist(pts[i], pts[j])
+			if km < 1 {
+				km = 1 // co-located points still need a positive span
+			}
+			err := g.AddLink(Link{
+				ID: LinkID(fmt.Sprintf("%s-%s", ids[i], ids[j])),
+				A:  ids[i], B: ids[j], KM: km,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !g.Connected() {
+		// Cannot happen for a Gabriel graph of distinct points, but a
+		// pathological seed with duplicate coordinates could manage it.
+		return nil, fmt.Errorf("topo: generated graph disconnected (seed %d)", seed)
+	}
+
+	// Attach sites to well-separated PoPs: greedy farthest-point picks.
+	chosen := []int{0}
+	for len(chosen) < sites {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			dMin := math.Inf(1)
+			taken := false
+			for _, c := range chosen {
+				if c == i {
+					taken = true
+					break
+				}
+				if d := dist(pts[i], pts[c]); d < dMin {
+					dMin = d
+				}
+			}
+			if taken {
+				continue
+			}
+			if dMin > bestD {
+				best, bestD = i, dMin
+			}
+		}
+		chosen = append(chosen, best)
+	}
+	for i, c := range chosen {
+		err := g.AddSite(Site{
+			ID:         SiteID(fmt.Sprintf("DC-%02d", i)),
+			Home:       ids[c],
+			AccessGbps: 400,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

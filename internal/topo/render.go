@@ -1,0 +1,66 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format: ROADMs as circles (label shows
+// degree), sites as boxes attached to their home PoPs, links labelled with
+// their span lengths. Useful for documentation and for eyeballing generated
+// topologies.
+func DOT(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("graph griphon {\n")
+	b.WriteString("  layout=neato;\n  overlap=false;\n")
+	for _, n := range g.Nodes() {
+		shape := "circle"
+		label := fmt.Sprintf("%s\\n%d-degree", n.ID, g.Degree(n.ID))
+		if n.HasOTN {
+			label += "\\n+OTN"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=%q];\n", string(n.ID), shape, label)
+	}
+	for _, s := range g.Sites() {
+		fmt.Fprintf(&b, "  %q [shape=box, label=%q];\n", string(s.ID),
+			fmt.Sprintf("%s\\n%.0fG access", s.ID, s.AccessGbps))
+		fmt.Fprintf(&b, "  %q -- %q [style=dashed];\n", string(s.ID), string(s.Home))
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", string(l.A), string(l.B),
+			fmt.Sprintf("%.0f km", l.KM))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary renders a compact text description of the graph: node census,
+// link list, site attachments. The form used by the Fig. 4 experiment and
+// griphonctl's topology command.
+func Summary(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d PoPs, %d fiber links, %d sites\n", g.NumNodes(), g.NumLinks(), len(g.Sites()))
+	degrees := map[int][]string{}
+	for _, n := range g.Nodes() {
+		d := g.Degree(n.ID)
+		degrees[d] = append(degrees[d], string(n.ID))
+	}
+	var ds []int
+	for d := range degrees {
+		ds = append(ds, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	for _, d := range ds {
+		fmt.Fprintf(&b, "  %d-degree: %s\n", d, strings.Join(degrees[d], ", "))
+	}
+	var totalKM float64
+	for _, l := range g.Links() {
+		totalKM += l.KM
+	}
+	fmt.Fprintf(&b, "  fiber plant: %.0f km total\n", totalKM)
+	for _, s := range g.Sites() {
+		fmt.Fprintf(&b, "  site %s @ %s (%.0fG access)\n", s.ID, s.Home, s.AccessGbps)
+	}
+	return b.String()
+}
