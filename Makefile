@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench reproduce examples daemon clean
+.PHONY: all build test vet cover bench profile reproduce examples daemon clean
 
 all: build test
 
@@ -21,6 +21,10 @@ cover:
 # One testing.B benchmark per paper table/figure (plus microbenchmarks).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Profile the heaviest experiment; inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/griphon-bench -exp scale -cpuprofile cpu.prof -memprofile mem.prof
 
 # Regenerate every table and figure as formatted text (EXPERIMENTS.md).
 reproduce:

@@ -7,12 +7,15 @@
 //	griphon-bench -exp table2     # one experiment
 //	griphon-bench -list           # list experiment IDs
 //	griphon-bench -seed 7         # different jitter/workload seed
+//	griphon-bench -exp scale -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"griphon/internal/experiments"
 )
@@ -21,6 +24,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment ID to run (see -list)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -28,6 +33,20 @@ func main() {
 			fmt.Printf("%-16s %s\n", s.ID, s.Paper)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var specs []experiments.Spec
@@ -50,5 +69,19 @@ func main() {
 		}
 		fmt.Print(res.String())
 		fmt.Println()
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -53,15 +53,19 @@ type Switch struct {
 	ports map[PortID]Port
 	peer  map[PortID]PortID
 	owner map[PortID]string
+	// byRole holds each role's port IDs in sorted order, fixed at
+	// construction, so FreePort is a scan instead of a collect-and-sort.
+	byRole map[PortRole][]PortID
 }
 
 // New creates an FXC at the given node with the given ports.
 func New(node topo.NodeID, ports []Port) (*Switch, error) {
 	s := &Switch{
-		node:  node,
-		ports: make(map[PortID]Port, len(ports)),
-		peer:  make(map[PortID]PortID),
-		owner: make(map[PortID]string),
+		node:   node,
+		ports:  make(map[PortID]Port, len(ports)),
+		peer:   make(map[PortID]PortID),
+		owner:  make(map[PortID]string),
+		byRole: make(map[PortRole][]PortID),
 	}
 	for _, p := range ports {
 		if p.ID == "" {
@@ -71,6 +75,10 @@ func New(node topo.NodeID, ports []Port) (*Switch, error) {
 			return nil, fmt.Errorf("fxc: duplicate port %s at %s", p.ID, node)
 		}
 		s.ports[p.ID] = p
+		s.byRole[p.Role] = append(s.byRole[p.Role], p.ID)
+	}
+	for _, ids := range s.byRole {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 	return s, nil
 }
@@ -156,33 +164,16 @@ func (s *Switch) OwnerOf(p PortID) string { return s.owner[p] }
 // FreePort returns the lowest-ID free port with the given role, or an error
 // when the bank of that role is exhausted.
 func (s *Switch) FreePort(role PortRole) (PortID, error) {
-	var ids []PortID
-	for id, p := range s.ports {
-		if p.Role != role {
-			continue
+	for _, id := range s.byRole[role] {
+		if _, busy := s.peer[id]; !busy {
+			return id, nil
 		}
-		if _, busy := s.peer[id]; busy {
-			continue
-		}
-		ids = append(ids, id)
 	}
-	if len(ids) == 0 {
-		return "", fmt.Errorf("fxc: no free %v port at %s", role, s.node)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids[0], nil
+	return "", fmt.Errorf("fxc: no free %v port at %s", role, s.node)
 }
 
 // Connections returns the number of active cross-connects.
 func (s *Switch) Connections() int { return len(s.peer) / 2 }
 
 // NumPorts returns the number of ports with the given role.
-func (s *Switch) NumPorts(role PortRole) int {
-	n := 0
-	for _, p := range s.ports {
-		if p.Role == role {
-			n++
-		}
-	}
-	return n
-}
+func (s *Switch) NumPorts(role PortRole) int { return len(s.byRole[role]) }

@@ -50,6 +50,10 @@ type Plant struct {
 	ots     map[topo.NodeID]*OTBank
 	regens  map[topo.NodeID]*RegenBank
 	down    map[topo.LinkID]bool
+	// usage[ch] counts the links currently carrying ch, maintained
+	// incrementally on every Reserve/Release so most-used/least-used
+	// wavelength assignment never rescans the network's spectra.
+	usage []int32
 }
 
 // NewPlant builds the photonic plant for g. Each node gets a transponder bank
@@ -70,8 +74,11 @@ func NewPlant(g *topo.Graph, cfg Config) (*Plant, error) {
 		regens:  make(map[topo.NodeID]*RegenBank),
 		down:    make(map[topo.LinkID]bool),
 	}
+	p.usage = make([]int32, cfg.Channels+1)
 	for _, l := range g.Links() {
-		p.spectra[l.ID] = NewSpectrum(cfg.Channels)
+		s := NewSpectrum(cfg.Channels)
+		s.onChange = p.noteChannel
+		p.spectra[l.ID] = s
 	}
 	for _, n := range g.Nodes() {
 		nOTs := cfg.OTsPerNode
@@ -151,6 +158,9 @@ func (p *Plant) SetLinkUp(id topo.LinkID, up bool) {
 
 // DownLinks returns the currently failed links in sorted order.
 func (p *Plant) DownLinks() []topo.LinkID {
+	if len(p.down) == 0 {
+		return nil
+	}
 	out := make([]topo.LinkID, 0, len(p.down))
 	for id := range p.down {
 		out = append(out, id)
@@ -173,16 +183,64 @@ func (p *Plant) PathUp(path topo.Path) bool {
 	return true
 }
 
+// noteChannel is the spectra's change observer: it keeps the global
+// per-channel usage counters in step with every Reserve/Release.
+func (p *Plant) noteChannel(ch Channel, reserved bool) {
+	if reserved {
+		p.usage[ch]++
+	} else {
+		p.usage[ch]--
+	}
+}
+
+// ChannelUsage returns how many links currently carry ch — an O(1) read of
+// the incrementally maintained counter (what most-used/least-used assignment
+// consults).
+func (p *Plant) ChannelUsage(ch Channel) int {
+	if ch < 1 || int(ch) >= len(p.usage) {
+		return 0
+	}
+	return int(p.usage[ch])
+}
+
 // ContinuityChannels returns the channels simultaneously free on every link
 // of the given transparent segment (ascending). An unknown link yields nil.
 func (p *Plant) ContinuityChannels(links []topo.LinkID) []Channel {
-	spectra := make([]*Spectrum, 0, len(links))
+	f, ok := p.CommonFree(links)
+	if !ok {
+		return nil
+	}
+	out := f.Slice()
+	f.Recycle()
+	return out
+}
+
+// CommonFree computes the wavelength-continuity constraint for a segment as
+// a bitset: one word-wise AND per link instead of per-channel map probes. It
+// reports false when the segment is empty or references an unknown link. The
+// returned set borrows pooled storage — call Recycle when done (dropping it
+// is safe, merely garbage).
+func (p *Plant) CommonFree(links []topo.LinkID) (FreeSet, bool) {
+	if len(links) == 0 {
+		return FreeSet{}, false
+	}
+	nw := (p.cfg.Channels + 63) / 64
+	buf := getFreeWords(nw)
+	for i := range buf {
+		buf[i] = ^uint64(0)
+	}
 	for _, id := range links {
 		s := p.spectra[id]
 		if s == nil {
-			return nil
+			putFreeWords(buf)
+			return FreeSet{}, false
 		}
-		spectra = append(spectra, s)
+		for w := range buf {
+			buf[w] &^= s.words[w]
+		}
 	}
-	return IntersectFree(spectra)
+	if tail := p.cfg.Channels & 63; tail != 0 {
+		buf[nw-1] &= (1 << uint(tail)) - 1
+	}
+	return FreeSet{words: buf, channels: p.cfg.Channels}, true
 }

@@ -7,7 +7,7 @@ package optics
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // Channel is a DWDM grid channel number, 1-based. Channel 0 is invalid.
@@ -16,9 +16,18 @@ type Channel int
 // Spectrum tracks wavelength occupancy on one fiber pair. A modern DWDM
 // system carries 40–100 channels (paper §2.1); each channel is either free or
 // owned by exactly one connection.
+//
+// Occupancy is a []uint64 bitset (bit ch-1 of word (ch-1)/64 set = occupied)
+// so continuity intersections reduce to word-wise ANDs; the owner map is kept
+// only for diagnostics (Owner) and double-reserve error messages.
 type Spectrum struct {
 	channels int
+	words    []uint64
+	used     int
 	owner    map[Channel]string
+	// onChange, when set, observes every successful Reserve/Release — the
+	// Plant uses it to maintain global per-channel usage counters.
+	onChange func(ch Channel, reserved bool)
 }
 
 // NewSpectrum returns a spectrum with the given channel count.
@@ -26,22 +35,25 @@ func NewSpectrum(channels int) *Spectrum {
 	if channels <= 0 {
 		panic(fmt.Sprintf("optics: non-positive channel count %d", channels))
 	}
-	return &Spectrum{channels: channels, owner: make(map[Channel]string)}
+	return &Spectrum{
+		channels: channels,
+		words:    make([]uint64, (channels+63)/64),
+		owner:    make(map[Channel]string),
+	}
 }
 
 // Channels returns the grid size.
 func (s *Spectrum) Channels() int { return s.channels }
 
 // Used returns the number of occupied channels.
-func (s *Spectrum) Used() int { return len(s.owner) }
+func (s *Spectrum) Used() int { return s.used }
 
 // IsFree reports whether ch is within the grid and unoccupied.
 func (s *Spectrum) IsFree(ch Channel) bool {
 	if ch < 1 || int(ch) > s.channels {
 		return false
 	}
-	_, used := s.owner[ch]
-	return !used
+	return s.words[(ch-1)>>6]&(1<<uint((ch-1)&63)) == 0
 }
 
 // Owner returns the owner of ch, or "" if free or out of range.
@@ -56,29 +68,50 @@ func (s *Spectrum) Reserve(ch Channel, owner string) error {
 	if ch < 1 || int(ch) > s.channels {
 		return fmt.Errorf("optics: channel %d outside 1..%d", ch, s.channels)
 	}
-	if cur, used := s.owner[ch]; used {
-		return fmt.Errorf("optics: channel %d already owned by %s", ch, cur)
+	w, bit := (ch-1)>>6, uint64(1)<<uint((ch-1)&63)
+	if s.words[w]&bit != 0 {
+		return fmt.Errorf("optics: channel %d already owned by %s", ch, s.owner[ch])
 	}
+	s.words[w] |= bit
+	s.used++
 	s.owner[ch] = owner
+	if s.onChange != nil {
+		s.onChange(ch, true)
+	}
 	return nil
 }
 
 // Release frees ch. Releasing a free channel is an error: it indicates a
 // double-release bug.
 func (s *Spectrum) Release(ch Channel) error {
-	if _, used := s.owner[ch]; !used {
+	if ch < 1 || int(ch) > s.channels {
 		return fmt.Errorf("optics: releasing free channel %d", ch)
 	}
+	w, bit := (ch-1)>>6, uint64(1)<<uint((ch-1)&63)
+	if s.words[w]&bit == 0 {
+		return fmt.Errorf("optics: releasing free channel %d", ch)
+	}
+	s.words[w] &^= bit
+	s.used--
 	delete(s.owner, ch)
+	if s.onChange != nil {
+		s.onChange(ch, false)
+	}
 	return nil
 }
 
 // FreeChannels returns all free channels in ascending order.
 func (s *Spectrum) FreeChannels() []Channel {
-	out := make([]Channel, 0, s.channels-len(s.owner))
-	for ch := Channel(1); int(ch) <= s.channels; ch++ {
-		if _, used := s.owner[ch]; !used {
-			out = append(out, ch)
+	out := make([]Channel, 0, s.channels-s.used)
+	for w, word := range s.words {
+		free := ^word
+		if tail := s.channels - w*64; tail < 64 {
+			free &= (1 << uint(tail)) - 1
+		}
+		for free != 0 {
+			b := bits.TrailingZeros64(free)
+			out = append(out, Channel(w*64+b+1))
+			free &= free - 1
 		}
 	}
 	return out
@@ -86,32 +119,44 @@ func (s *Spectrum) FreeChannels() []Channel {
 
 // UsedChannels returns all occupied channels in ascending order.
 func (s *Spectrum) UsedChannels() []Channel {
-	out := make([]Channel, 0, len(s.owner))
-	for ch := range s.owner {
-		out = append(out, ch)
+	out := make([]Channel, 0, s.used)
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, Channel(w*64+b+1))
+			word &= word - 1
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // IntersectFree returns the channels free on every spectrum in the slice, in
 // ascending order — the wavelength-continuity constraint for a transparent
-// segment. With no spectra it returns nil.
+// segment. With no spectra it returns nil. Spectra may differ in grid size;
+// channels beyond a spectrum's grid count as not free, matching IsFree.
 func IntersectFree(spectra []*Spectrum) []Channel {
 	if len(spectra) == 0 {
 		return nil
 	}
-	var out []Channel
-	for _, ch := range spectra[0].FreeChannels() {
-		ok := true
-		for _, s := range spectra[1:] {
-			if !s.IsFree(ch) {
-				ok = false
-				break
-			}
+	minCh := spectra[0].channels
+	for _, s := range spectra[1:] {
+		if s.channels < minCh {
+			minCh = s.channels
 		}
-		if ok {
-			out = append(out, ch)
+	}
+	var out []Channel
+	for w := 0; w*64 < minCh; w++ {
+		free := ^uint64(0)
+		for _, s := range spectra {
+			free &^= s.words[w]
+		}
+		if tail := minCh - w*64; tail < 64 {
+			free &= (1 << uint(tail)) - 1
+		}
+		for free != 0 {
+			b := bits.TrailingZeros64(free)
+			out = append(out, Channel(w*64+b+1))
+			free &= free - 1
 		}
 	}
 	return out

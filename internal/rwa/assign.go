@@ -41,48 +41,56 @@ func (p AssignPolicy) String() string {
 	return fmt.Sprintf("AssignPolicy(%d)", int(p))
 }
 
+// blockedError reports wavelength blocking on a segment. Formatting the link
+// list is deferred to Error(): under load, blocked probes are the common case
+// on this path and most of these errors are only branched on, never printed.
+type blockedError struct{ links []topo.LinkID }
+
+func (e *blockedError) Error() string {
+	return fmt.Sprintf("rwa: no common free wavelength on %v", e.links)
+}
+
 // AssignWavelength chooses a channel free on every link in links, under the
 // policy. rng is only required for RandomFit. It fails when no common free
 // channel exists (wavelength blocking).
+//
+// The continuity set is a word-wise AND across the segment's spectrum
+// bitsets, and the most-used/least-used policies read the plant's incremental
+// per-channel usage counters instead of rescanning every link.
 func AssignWavelength(plant *optics.Plant, links []topo.LinkID, policy AssignPolicy, rng *sim.Rand) (optics.Channel, error) {
 	if len(links) == 0 {
 		return 0, fmt.Errorf("rwa: no links to assign a wavelength on")
 	}
-	free := plant.ContinuityChannels(links)
-	if len(free) == 0 {
-		return 0, fmt.Errorf("rwa: no common free wavelength on %v", links)
+	free, ok := plant.CommonFree(links)
+	if !ok || free.Empty() {
+		free.Recycle()
+		return 0, &blockedError{links: append([]topo.LinkID(nil), links...)}
 	}
+	defer free.Recycle()
 	switch policy {
 	case FirstFit:
-		return free[0], nil
+		ch, _ := free.First()
+		return ch, nil
 	case RandomFit:
 		if rng == nil {
 			return 0, fmt.Errorf("rwa: RandomFit needs a random source")
 		}
-		return free[rng.Intn(len(free))], nil
+		ch, _ := free.Nth(rng.Intn(free.Count()))
+		return ch, nil
 	case MostUsed, LeastUsed:
-		usage := channelUsage(plant)
-		best := free[0]
-		bestU := usage[best]
-		for _, ch := range free[1:] {
-			u := usage[ch]
-			if (policy == MostUsed && u > bestU) || (policy == LeastUsed && u < bestU) {
+		var best optics.Channel
+		bestU := 0
+		free.ForEach(func(ch optics.Channel) bool {
+			u := plant.ChannelUsage(ch)
+			if best == 0 ||
+				(policy == MostUsed && u > bestU) ||
+				(policy == LeastUsed && u < bestU) {
 				best, bestU = ch, u
 			}
-		}
+			return true
+		})
 		return best, nil
 	default:
 		return 0, fmt.Errorf("rwa: unknown policy %v", policy)
 	}
-}
-
-// channelUsage counts, for every channel, how many links currently carry it.
-func channelUsage(plant *optics.Plant) map[optics.Channel]int {
-	usage := make(map[optics.Channel]int)
-	for _, l := range plant.Graph().Links() {
-		for _, ch := range plant.Spectrum(l.ID).UsedChannels() {
-			usage[ch]++
-		}
-	}
-	return usage
 }

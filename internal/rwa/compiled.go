@@ -1,0 +1,256 @@
+package rwa
+
+import (
+	"math"
+	"sync"
+
+	"griphon/internal/topo"
+)
+
+// This file is the compiled core of the RWA engine: Dijkstra and Yen run
+// entirely on the dense integer indices of topo.Index, with all per-search
+// state (distance, predecessor, visited, avoid sets, the heap) living in a
+// pooled scratch arena so the warm path allocates nothing. String IDs appear
+// only at the API boundary, where results are converted back to topo.Path.
+//
+// Determinism contract: because topo.Index assigns indices in sorted-ID
+// order, every comparison below (heap tie-breaks on node index, predecessor
+// tie-breaks on link index, candidate ordering on node-index sequences) is
+// order-isomorphic to the string comparisons of the original map-based
+// implementation, so route selections are byte-identical.
+
+// heapItem is a priority-queue entry. Lazy deletion: a node may appear more
+// than once; stale entries are skipped via the visited array.
+type heapItem struct {
+	dist float64
+	node int32
+}
+
+func heapLess(a, b heapItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.node < b.node // deterministic tie-break (= lowest NodeID)
+}
+
+func heapPush(h []heapItem, it heapItem) []heapItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func heapPop(h []heapItem) (heapItem, []heapItem) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && heapLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && heapLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top, h
+}
+
+// scratch is a reusable search arena sized for one topology. All slices are
+// indexed by dense node/link index.
+type scratch struct {
+	dist     []float64
+	prevLink []int32
+	prevNode []int32
+	visited  []bool
+
+	// avoid sets for the current search; dijkstra reads them, callers
+	// (boundary conversion, Yen, DisjointPair) maintain them.
+	avoidLink []bool
+	avoidNode []bool
+
+	heap []heapItem
+
+	// path extraction buffers (dst->src order before reversal).
+	nodeBuf []int32
+	linkBuf []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(nNodes, nLinks int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	s.resize(nNodes, nLinks)
+	return s
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+func (s *scratch) resize(nNodes, nLinks int) {
+	if cap(s.dist) < nNodes {
+		s.dist = make([]float64, nNodes)
+		s.prevLink = make([]int32, nNodes)
+		s.prevNode = make([]int32, nNodes)
+		s.visited = make([]bool, nNodes)
+		s.avoidNode = make([]bool, nNodes)
+	}
+	s.dist = s.dist[:nNodes]
+	s.prevLink = s.prevLink[:nNodes]
+	s.prevNode = s.prevNode[:nNodes]
+	s.visited = s.visited[:nNodes]
+	s.avoidNode = s.avoidNode[:nNodes]
+	if cap(s.avoidLink) < nLinks {
+		s.avoidLink = make([]bool, nLinks)
+	}
+	s.avoidLink = s.avoidLink[:nLinks]
+	for i := range s.avoidLink {
+		s.avoidLink[i] = false
+	}
+	for i := range s.avoidNode {
+		s.avoidNode[i] = false
+	}
+	s.heap = s.heap[:0]
+}
+
+// resetSearch clears only the per-search state, leaving the avoid sets alone
+// (Yen reuses them across many searches).
+func (s *scratch) resetSearch() {
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+	}
+	for i := range s.visited {
+		s.visited[i] = false
+	}
+	s.heap = s.heap[:0]
+}
+
+// linkWeight returns the search weight of link li under the metric.
+func linkWeight(ix *topo.Index, li int32, m Metric) float64 {
+	if m == ByKM {
+		return ix.LinkKM(li)
+	}
+	return 1
+}
+
+// dijkstra runs an integer-indexed Dijkstra from src, stopping once dst is
+// settled. It honours s.avoidLink/s.avoidNode (the endpoints are always
+// allowed) and reports whether dst was reached; on success the predecessor
+// arrays describe the path. Semantics — including the equal-distance
+// prefer-lowest-link tie-break — mirror the original map implementation.
+func dijkstra(ix *topo.Index, src, dst int32, m Metric, s *scratch) bool {
+	s.resetSearch()
+	s.dist[src] = 0
+	s.heap = heapPush(s.heap, heapItem{dist: 0, node: src})
+	for len(s.heap) > 0 {
+		var it heapItem
+		it, s.heap = heapPop(s.heap)
+		if s.visited[it.node] {
+			continue
+		}
+		s.visited[it.node] = true
+		if it.node == dst {
+			return true
+		}
+		links, nodes := ix.Adjacency(it.node)
+		for i, li := range links {
+			if s.avoidLink[li] {
+				continue
+			}
+			o := nodes[i]
+			if s.visited[o] {
+				continue
+			}
+			if o != dst && o != src && s.avoidNode[o] {
+				continue
+			}
+			nd := it.dist + linkWeight(ix, li, m)
+			cur := s.dist[o]
+			seen := !math.IsInf(cur, 1)
+			better := !seen || nd < cur
+			// Deterministic tie-break on equal distance: prefer the
+			// lower-indexed (= lexicographically smaller) predecessor link.
+			if seen && nd == cur && li < s.prevLink[o] {
+				better = true
+			}
+			if better {
+				s.dist[o] = nd
+				s.prevLink[o] = li
+				s.prevNode[o] = it.node
+				s.heap = heapPush(s.heap, heapItem{dist: nd, node: o})
+			}
+		}
+	}
+	return s.visited[dst]
+}
+
+// extractPath walks the predecessor arrays back from dst and returns the
+// src->dst node and link index sequences. The returned slices alias the
+// scratch buffers: copy before the next search if they must persist.
+func (s *scratch) extractPath(src, dst int32) (nodes, links []int32) {
+	s.nodeBuf = s.nodeBuf[:0]
+	s.linkBuf = s.linkBuf[:0]
+	for n := dst; ; {
+		s.nodeBuf = append(s.nodeBuf, n)
+		if n == src {
+			break
+		}
+		s.linkBuf = append(s.linkBuf, s.prevLink[n])
+		n = s.prevNode[n]
+	}
+	// Reverse into src->dst order.
+	for i, j := 0, len(s.nodeBuf)-1; i < j; i, j = i+1, j-1 {
+		s.nodeBuf[i], s.nodeBuf[j] = s.nodeBuf[j], s.nodeBuf[i]
+	}
+	for i, j := 0, len(s.linkBuf)-1; i < j; i, j = i+1, j-1 {
+		s.linkBuf[i], s.linkBuf[j] = s.linkBuf[j], s.linkBuf[i]
+	}
+	return s.nodeBuf, s.linkBuf
+}
+
+// applyConstraints marks the caller-supplied avoid sets in the arena.
+// Unknown IDs are ignored, matching the map implementation (an avoided link
+// that does not exist cannot be traversed anyway).
+func (s *scratch) applyConstraints(ix *topo.Index, c Constraints) {
+	for id, v := range c.AvoidLinks {
+		if !v {
+			continue
+		}
+		if li, ok := ix.LinkIndex(id); ok {
+			s.avoidLink[li] = true
+		}
+	}
+	for id, v := range c.AvoidNodes {
+		if !v {
+			continue
+		}
+		if ni, ok := ix.NodeIndex(id); ok {
+			s.avoidNode[ni] = true
+		}
+	}
+}
+
+// pathWeightIdx sums link weights in path order — the same sequential
+// accumulation PathWeight performs, so cached weights compare bit-identically
+// to recomputed ones.
+func pathWeightIdx(ix *topo.Index, links []int32, m Metric) float64 {
+	var w float64
+	for _, li := range links {
+		w += linkWeight(ix, li, m)
+	}
+	return w
+}

@@ -2,10 +2,13 @@
 // layer: shortest and k-shortest path search, link-disjoint path pairs (for
 // 1+1 protection and bridge-and-roll), and wavelength-assignment policies
 // honouring the wavelength-continuity constraint between regeneration points.
+//
+// Path search runs on the compiled integer-indexed view of the topology
+// (topo.Index) with pooled scratch arenas — see compiled.go — and converts
+// back to topo.Path only at the API boundary.
 package rwa
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -47,133 +50,51 @@ type Constraints struct {
 	AvoidNodes map[topo.NodeID]bool
 }
 
-func (c Constraints) linkOK(id topo.LinkID) bool { return !c.AvoidLinks[id] }
-func (c Constraints) nodeOK(id topo.NodeID) bool { return !c.AvoidNodes[id] }
-
-func weight(l *topo.Link, m Metric) float64 {
-	if m == ByKM {
-		return l.KM
-	}
-	return 1
-}
-
-type pqItem struct {
-	node  topo.NodeID
-	dist  float64
-	index int
-}
-
-type nodePQ []*pqItem
-
-func (q nodePQ) Len() int { return len(q) }
-func (q nodePQ) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
-	}
-	return q[i].node < q[j].node // deterministic tie-break
-}
-func (q nodePQ) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *nodePQ) Push(x any) {
-	it := x.(*pqItem)
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-func (q *nodePQ) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
 // ShortestPath returns the minimum-weight path from src to dst under the
 // metric and constraints. Ties break deterministically (lowest node/link ID).
 func ShortestPath(g *topo.Graph, src, dst topo.NodeID, m Metric, c Constraints) (topo.Path, error) {
-	if g.Node(src) == nil {
-		return topo.Path{}, fmt.Errorf("rwa: unknown source %s", src)
-	}
-	if g.Node(dst) == nil {
-		return topo.Path{}, fmt.Errorf("rwa: unknown destination %s", dst)
-	}
-	if src == dst {
-		return topo.Path{}, fmt.Errorf("rwa: source equals destination %s", src)
-	}
-
-	dist := map[topo.NodeID]float64{src: 0}
-	prevLink := map[topo.NodeID]topo.LinkID{}
-	prevNode := map[topo.NodeID]topo.NodeID{}
-	visited := map[topo.NodeID]bool{}
-
-	pq := &nodePQ{}
-	heap.Push(pq, &pqItem{node: src, dist: 0})
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(*pqItem)
-		if visited[it.node] {
-			continue
-		}
-		visited[it.node] = true
-		if it.node == dst {
-			break
-		}
-		for _, l := range g.LinksAt(it.node) {
-			if !c.linkOK(l.ID) {
-				continue
-			}
-			o := l.Other(it.node)
-			if visited[o] {
-				continue
-			}
-			if o != dst && o != src && !c.nodeOK(o) {
-				continue
-			}
-			nd := it.dist + weight(l, m)
-			cur, seen := dist[o]
-			better := !seen || nd < cur
-			// Deterministic tie-break on equal distance: prefer the
-			// lexicographically smaller predecessor link.
-			if seen && nd == cur && l.ID < prevLink[o] {
-				better = true
-			}
-			if better {
-				dist[o] = nd
-				prevLink[o] = l.ID
-				prevNode[o] = it.node
-				heap.Push(pq, &pqItem{node: o, dist: nd})
-			}
-		}
-	}
-	if !visited[dst] {
-		return topo.Path{}, ErrNoPath
-	}
-
-	// Walk predecessors back from dst.
-	var nodes []topo.NodeID
-	var links []topo.LinkID
-	for n := dst; ; {
-		nodes = append(nodes, n)
-		if n == src {
-			break
-		}
-		links = append(links, prevLink[n])
-		n = prevNode[n]
-	}
-	// Reverse into src->dst order.
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
-	}
-	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
-		links[i], links[j] = links[j], links[i]
-	}
-	p := topo.Path{Nodes: nodes, Links: links}
-	if err := p.Validate(g); err != nil {
-		return topo.Path{}, fmt.Errorf("rwa: internal path error: %w", err)
+	var p topo.Path
+	if err := ShortestPathInto(g, src, dst, m, c, &p); err != nil {
+		return topo.Path{}, err
 	}
 	return p, nil
+}
+
+// ShortestPathInto is ShortestPath writing its result into p, reusing p's
+// backing arrays. With a recycled path this is the zero-allocation warm path
+// of the compiled engine: the search itself runs on a pooled scratch arena
+// and allocates nothing.
+func ShortestPathInto(g *topo.Graph, src, dst topo.NodeID, m Metric, c Constraints, p *topo.Path) error {
+	ix := g.Index()
+	si, ok := ix.NodeIndex(src)
+	if !ok {
+		return fmt.Errorf("rwa: unknown source %s", src)
+	}
+	di, ok := ix.NodeIndex(dst)
+	if !ok {
+		return fmt.Errorf("rwa: unknown destination %s", dst)
+	}
+	if src == dst {
+		return fmt.Errorf("rwa: source equals destination %s", src)
+	}
+
+	s := getScratch(ix.NumNodes(), ix.NumLinks())
+	defer putScratch(s)
+	s.applyConstraints(ix, c)
+
+	if !dijkstra(ix, si, di, m, s) {
+		return ErrNoPath
+	}
+	nodes, links := s.extractPath(si, di)
+	p.Nodes = p.Nodes[:0]
+	p.Links = p.Links[:0]
+	for _, n := range nodes {
+		p.Nodes = append(p.Nodes, ix.NodeIDAt(n))
+	}
+	for _, l := range links {
+		p.Links = append(p.Links, ix.LinkIDAt(l))
+	}
+	return nil
 }
 
 // PathWeight returns the path's total weight under the metric.
@@ -181,7 +102,11 @@ func PathWeight(g *topo.Graph, p topo.Path, m Metric) float64 {
 	var w float64
 	for _, id := range p.Links {
 		if l := g.Link(id); l != nil {
-			w += weight(l, m)
+			if m == ByKM {
+				w += l.KM
+			} else {
+				w++
+			}
 		}
 	}
 	return w

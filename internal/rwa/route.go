@@ -48,15 +48,19 @@ func FindRoute(plant *optics.Plant, src, dst topo.NodeID, opt Options) (Route, e
 		k = 4
 	}
 
-	// Merge failed links into the avoid set.
-	avoid := map[topo.LinkID]bool{}
-	for id := range opt.Constraints.AvoidLinks {
-		avoid[id] = true
+	// Merge failed links into the avoid set. With no failures the caller's
+	// constraints pass through untouched (KShortest never mutates them).
+	cons := opt.Constraints
+	if down := plant.DownLinks(); len(down) > 0 {
+		avoid := make(map[topo.LinkID]bool, len(opt.Constraints.AvoidLinks)+len(down))
+		for id := range opt.Constraints.AvoidLinks {
+			avoid[id] = true
+		}
+		for _, id := range down {
+			avoid[id] = true
+		}
+		cons = Constraints{AvoidLinks: avoid, AvoidNodes: opt.Constraints.AvoidNodes}
 	}
-	for _, id := range plant.DownLinks() {
-		avoid[id] = true
-	}
-	cons := Constraints{AvoidLinks: avoid, AvoidNodes: opt.Constraints.AvoidNodes}
 
 	paths, err := KShortest(g, src, dst, k, opt.Metric, cons)
 	if err != nil {

@@ -1,10 +1,197 @@
 package rwa
 
 import (
+	"fmt"
 	"sort"
 
 	"griphon/internal/topo"
 )
+
+// ipath is a path in the compiled engine's integer domain. weight caches the
+// path's total weight, computed once when the path is generated (the seed
+// implementation recomputed it — and the path's string form — inside every
+// sort comparison).
+type ipath struct {
+	nodes  []int32
+	links  []int32
+	weight float64
+}
+
+func (p ipath) toPath(ix *topo.Index) topo.Path {
+	out := topo.Path{
+		Nodes: make([]topo.NodeID, len(p.nodes)),
+		Links: make([]topo.LinkID, len(p.links)),
+	}
+	for i, n := range p.nodes {
+		out.Nodes[i] = ix.NodeIDAt(n)
+	}
+	for i, l := range p.links {
+		out.Links[i] = ix.LinkIDAt(l)
+	}
+	return out
+}
+
+// lessNodeSeq orders node-index sequences lexicographically. Because node
+// indices follow sorted-NodeID order and '-' sorts below every ID character,
+// this is exactly the order of the "A-B-C" joined strings the seed
+// implementation compared.
+func lessNodeSeq(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func ipathEqual(a, b ipath) bool {
+	if len(a.nodes) != len(b.nodes) || len(a.links) != len(b.links) {
+		return false
+	}
+	for i := range a.nodes {
+		if a.nodes[i] != b.nodes[i] {
+			return false
+		}
+	}
+	for i := range a.links {
+		if a.links[i] != b.links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsIpath(ps []ipath, q ipath) bool {
+	for _, p := range ps {
+		if ipathEqual(p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+func sharesRootIdx(p ipath, rootNodes, rootLinks []int32) bool {
+	if len(p.nodes) < len(rootNodes) || len(p.links) < len(rootLinks) {
+		return false
+	}
+	for i, n := range rootNodes {
+		if p.nodes[i] != n {
+			return false
+		}
+	}
+	for i, l := range rootLinks {
+		if p.links[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// kShortestIdx is Yen's algorithm in the integer domain. The scratch arena's
+// avoid sets must already hold the caller's base constraints; they are
+// restored to exactly that state before returning. Spur searches never
+// materialise per-spur avoid maps: the temporary additions are marked in the
+// arena and rolled back after each search.
+func kShortestIdx(ix *topo.Index, s *scratch, src, dst int32, k int, m Metric) ([]ipath, error) {
+	if !dijkstra(ix, src, dst, m, s) {
+		return nil, ErrNoPath
+	}
+	n0, l0 := s.extractPath(src, dst)
+	first := ipath{
+		nodes:  append([]int32(nil), n0...),
+		links:  append([]int32(nil), l0...),
+		weight: pathWeightIdx(ix, l0, m),
+	}
+	paths := []ipath{first}
+	var candidates []ipath
+
+	var addedLinks, addedNodes []int32
+	addLink := func(li int32) {
+		if !s.avoidLink[li] {
+			s.avoidLink[li] = true
+			addedLinks = append(addedLinks, li)
+		}
+	}
+	addNode := func(ni int32) {
+		if !s.avoidNode[ni] {
+			s.avoidNode[ni] = true
+			addedNodes = append(addedNodes, ni)
+		}
+	}
+	rollback := func() {
+		for _, li := range addedLinks {
+			s.avoidLink[li] = false
+		}
+		for _, ni := range addedNodes {
+			s.avoidNode[ni] = false
+		}
+		addedLinks = addedLinks[:0]
+		addedNodes = addedNodes[:0]
+	}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// For each node of the previous path except the last, branch.
+		for i := 0; i < len(prev.nodes)-1; i++ {
+			spurNode := prev.nodes[i]
+			rootNodes := prev.nodes[:i+1]
+			rootLinks := prev.links[:i]
+
+			// Remove the links that previous accepted paths (and pending
+			// candidates) take out of this same root, so the spur diverges.
+			for _, p := range paths {
+				if sharesRootIdx(p, rootNodes, rootLinks) && i < len(p.links) {
+					addLink(p.links[i])
+				}
+			}
+			for _, cand := range candidates {
+				if sharesRootIdx(cand, rootNodes, rootLinks) && i < len(cand.links) {
+					addLink(cand.links[i])
+				}
+			}
+			// Exclude root nodes (other than the spur node) so the total
+			// path stays loop-free.
+			for _, n := range rootNodes[:i] {
+				addNode(n)
+			}
+
+			ok := dijkstra(ix, spurNode, dst, m, s)
+			rollback()
+			if !ok {
+				continue
+			}
+			spurNodes, spurLinks := s.extractPath(spurNode, dst)
+			total := ipath{
+				nodes: append(append(make([]int32, 0, len(rootNodes)+len(spurNodes)-1), rootNodes...), spurNodes[1:]...),
+				links: append(append(make([]int32, 0, len(rootLinks)+len(spurLinks)), rootLinks...), spurLinks...),
+			}
+			// The spur avoids all strict root nodes and is itself loop-free,
+			// so the concatenation is a valid loop-free path by construction
+			// (the seed's Validate call could never fire here either).
+			if containsIpath(paths, total) || containsIpath(candidates, total) {
+				continue
+			}
+			total.weight = pathWeightIdx(ix, total.links, m)
+			candidates = append(candidates, total)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].weight != candidates[b].weight {
+				return candidates[a].weight < candidates[b].weight
+			}
+			return lessNodeSeq(candidates[a].nodes, candidates[b].nodes)
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
 
 // KShortest returns up to k loop-free paths from src to dst in non-decreasing
 // weight order (Yen's algorithm). It returns ErrNoPath if not even one path
@@ -13,106 +200,32 @@ func KShortest(g *topo.Graph, src, dst topo.NodeID, k int, m Metric, c Constrain
 	if k <= 0 {
 		k = 1
 	}
-	first, err := ShortestPath(g, src, dst, m, c)
+	ix := g.Index()
+	si, ok := ix.NodeIndex(src)
+	if !ok {
+		return nil, fmt.Errorf("rwa: unknown source %s", src)
+	}
+	di, ok := ix.NodeIndex(dst)
+	if !ok {
+		return nil, fmt.Errorf("rwa: unknown destination %s", dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("rwa: source equals destination %s", src)
+	}
+
+	s := getScratch(ix.NumNodes(), ix.NumLinks())
+	defer putScratch(s)
+	s.applyConstraints(ix, c)
+
+	ips, err := kShortestIdx(ix, s, si, di, k, m)
 	if err != nil {
 		return nil, err
 	}
-	paths := []topo.Path{first}
-	var candidates []topo.Path
-
-	for len(paths) < k {
-		prev := paths[len(paths)-1]
-		// For each node of the previous path except the last, branch.
-		for i := 0; i < len(prev.Nodes)-1; i++ {
-			spurNode := prev.Nodes[i]
-			rootNodes := prev.Nodes[:i+1]
-			rootLinks := prev.Links[:i]
-
-			avoidLinks := map[topo.LinkID]bool{}
-			for id := range c.AvoidLinks {
-				avoidLinks[id] = true
-			}
-			// Remove the links that previous accepted paths take out
-			// of this same root, so the spur diverges.
-			for _, p := range paths {
-				if sharesRoot(p, rootNodes, rootLinks) && i < len(p.Links) {
-					avoidLinks[p.Links[i]] = true
-				}
-			}
-			for _, cand := range candidates {
-				if sharesRoot(cand, rootNodes, rootLinks) && i < len(cand.Links) {
-					avoidLinks[cand.Links[i]] = true
-				}
-			}
-			// Exclude root nodes (other than the spur node) so the
-			// total path stays loop-free.
-			avoidNodes := map[topo.NodeID]bool{}
-			for id := range c.AvoidNodes {
-				avoidNodes[id] = true
-			}
-			for _, n := range rootNodes[:i] {
-				avoidNodes[n] = true
-			}
-
-			spur, err := ShortestPath(g, spurNode, dst, m, Constraints{
-				AvoidLinks: avoidLinks,
-				AvoidNodes: avoidNodes,
-			})
-			if err != nil {
-				continue
-			}
-			total := topo.Path{
-				Nodes: append(append([]topo.NodeID(nil), rootNodes...), spur.Nodes[1:]...),
-				Links: append(append([]topo.LinkID(nil), rootLinks...), spur.Links...),
-			}
-			if total.Validate(g) != nil {
-				continue
-			}
-			if containsPath(paths, total) || containsPath(candidates, total) {
-				continue
-			}
-			candidates = append(candidates, total)
-		}
-		if len(candidates) == 0 {
-			break
-		}
-		sort.Slice(candidates, func(a, b int) bool {
-			wa, wb := PathWeight(g, candidates[a], m), PathWeight(g, candidates[b], m)
-			if wa != wb {
-				return wa < wb
-			}
-			return candidates[a].String() < candidates[b].String()
-		})
-		paths = append(paths, candidates[0])
-		candidates = candidates[1:]
+	out := make([]topo.Path, len(ips))
+	for i, p := range ips {
+		out[i] = p.toPath(ix)
 	}
-	return paths, nil
-}
-
-func sharesRoot(p topo.Path, rootNodes []topo.NodeID, rootLinks []topo.LinkID) bool {
-	if len(p.Nodes) < len(rootNodes) || len(p.Links) < len(rootLinks) {
-		return false
-	}
-	for i, n := range rootNodes {
-		if p.Nodes[i] != n {
-			return false
-		}
-	}
-	for i, l := range rootLinks {
-		if p.Links[i] != l {
-			return false
-		}
-	}
-	return true
-}
-
-func containsPath(ps []topo.Path, q topo.Path) bool {
-	for _, p := range ps {
-		if p.Equal(q) {
-			return true
-		}
-	}
-	return false
+	return out, nil
 }
 
 // DisjointPair returns a link-disjoint (primary, backup) path pair with small
@@ -125,31 +238,56 @@ func DisjointPair(g *topo.Graph, src, dst topo.NodeID, kPrimaries int, m Metric,
 	if kPrimaries <= 0 {
 		kPrimaries = 4
 	}
-	prims, err := KShortest(g, src, dst, kPrimaries, m, c)
+	ix := g.Index()
+	si, ok := ix.NodeIndex(src)
+	if !ok {
+		return topo.Path{}, topo.Path{}, fmt.Errorf("rwa: unknown source %s", src)
+	}
+	di, ok := ix.NodeIndex(dst)
+	if !ok {
+		return topo.Path{}, topo.Path{}, fmt.Errorf("rwa: unknown destination %s", dst)
+	}
+	if src == dst {
+		return topo.Path{}, topo.Path{}, fmt.Errorf("rwa: source equals destination %s", src)
+	}
+
+	s := getScratch(ix.NumNodes(), ix.NumLinks())
+	defer putScratch(s)
+	s.applyConstraints(ix, c)
+
+	prims, err := kShortestIdx(ix, s, si, di, kPrimaries, m)
 	if err != nil {
 		return topo.Path{}, topo.Path{}, err
 	}
 	best := -1.0
+	var bestPrim, bestBackup ipath
+	var added []int32
 	for _, p := range prims {
-		avoid := map[topo.LinkID]bool{}
-		for id := range c.AvoidLinks {
-			avoid[id] = true
+		added = added[:0]
+		for _, li := range p.links {
+			if !s.avoidLink[li] {
+				s.avoidLink[li] = true
+				added = append(added, li)
+			}
 		}
-		for _, l := range p.Links {
-			avoid[l] = true
+		ok := dijkstra(ix, si, di, m, s)
+		for _, li := range added {
+			s.avoidLink[li] = false
 		}
-		b, err := ShortestPath(g, src, dst, m, Constraints{AvoidLinks: avoid, AvoidNodes: c.AvoidNodes})
-		if err != nil {
+		if !ok {
 			continue
 		}
-		total := PathWeight(g, p, m) + PathWeight(g, b, m)
+		bNodes, bLinks := s.extractPath(si, di)
+		total := p.weight + pathWeightIdx(ix, bLinks, m)
 		if best < 0 || total < best {
 			best = total
-			primary, backup = p, b
+			bestPrim = p
+			bestBackup.nodes = append(bestBackup.nodes[:0], bNodes...)
+			bestBackup.links = append(bestBackup.links[:0], bLinks...)
 		}
 	}
 	if best < 0 {
 		return topo.Path{}, topo.Path{}, ErrNoPath
 	}
-	return primary, backup, nil
+	return bestPrim.toPath(ix), bestBackup.toPath(ix), nil
 }

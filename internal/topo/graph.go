@@ -73,6 +73,10 @@ type Graph struct {
 	links map[LinkID]*Link
 	adj   map[NodeID][]*Link
 	sites map[SiteID]*Site
+
+	// compiled caches the integer-indexed view; topology mutations
+	// invalidate it (see Index).
+	compiled idxCache
 }
 
 // New returns an empty graph.
@@ -95,6 +99,7 @@ func (g *Graph) AddNode(n Node) error {
 	}
 	c := n
 	g.nodes[n.ID] = &c
+	g.compiled.invalidate()
 	return nil
 }
 
@@ -123,6 +128,7 @@ func (g *Graph) AddLink(l Link) error {
 	g.links[l.ID] = &c
 	g.adj[l.A] = append(g.adj[l.A], &c)
 	g.adj[l.B] = append(g.adj[l.B], &c)
+	g.compiled.invalidate()
 	return nil
 }
 
@@ -144,6 +150,11 @@ func (g *Graph) AddSite(s Site) error {
 	g.sites[s.ID] = &c
 	return nil
 }
+
+// Index returns the compiled integer-indexed view of the graph, building it
+// on first use and caching it until the next AddNode/AddLink. Safe for
+// concurrent use as long as the graph itself is not being mutated.
+func (g *Graph) Index() *Index { return g.compiled.get(g) }
 
 // Node returns the node with the given ID, or nil.
 func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
