@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench profile reproduce examples daemon clean
+.PHONY: all build test vet cover bench profile reproduce examples daemon trace clean
 
 all: build test
 
@@ -42,6 +42,11 @@ examples:
 # The customer-GUI backend on :8580 (drive it with griphonctl).
 daemon:
 	$(GO) run ./cmd/griphond
+
+# Record a setup -> cut -> restore demo trace; load trace.json in
+# ui.perfetto.dev or chrome://tracing to see the EMS step ladder.
+trace:
+	$(GO) run ./cmd/griphon-bench -trace trace.json
 
 clean:
 	$(GO) clean ./...

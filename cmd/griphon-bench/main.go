@@ -8,6 +8,7 @@
 //	griphon-bench -list           # list experiment IDs
 //	griphon-bench -seed 7         # different jitter/workload seed
 //	griphon-bench -exp scale -cpuprofile cpu.prof -memprofile mem.prof
+//	griphon-bench -trace trace.json   # record a setup→cut→restore demo trace
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"griphon"
 	"griphon/internal/experiments"
 )
 
@@ -26,7 +28,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceOut := flag.String("trace", "", "record a scripted setup→cut→restore demo and write its Chrome trace to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeDemoTrace(*traceOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s — load it in ui.perfetto.dev or chrome://tracing\n", *traceOut)
+		return
+	}
 
 	if *list {
 		for _, s := range experiments.All {
@@ -84,4 +96,30 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// writeDemoTrace runs the paper's headline scenario — a 10G wavelength setup
+// on the Fig. 4 testbed, a fiber cut on its working path, and the automated
+// restoration — with the span recorder on, and writes the Chrome trace. In
+// the viewer the setup renders as the EMS step ladder and the restoration as
+// detect → localize → provision tiles under op:restore.
+func writeDemoTrace(path string, seed int64) error {
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(seed), griphon.WithTracing())
+	if err != nil {
+		return err
+	}
+	conn, err := net.Connect("demo", "DC-A", "DC-C", griphon.Rate10G)
+	if err != nil {
+		return err
+	}
+	if err := net.CutFiber(string(conn.Route().Links[0])); err != nil {
+		return err
+	}
+	net.Drain()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return net.TraceTo(f)
 }

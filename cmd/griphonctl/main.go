@@ -22,6 +22,8 @@
 //	stats
 //	events     [-conn C0001]
 //	topology
+//	metrics
+//	trace      [-format chrome|jsonl] [-o trace.json]
 package main
 
 import (
@@ -48,7 +50,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (connect|disconnect|list|adjust|roll|regroom|defrag|cut|repair|maint|advance|bill|stats|events|topology)")
+		return fmt.Errorf("missing command (connect|disconnect|list|adjust|roll|regroom|defrag|cut|repair|maint|advance|bill|stats|events|topology|metrics|trace)")
 	}
 	c := api.NewClient(*server)
 	cmd, cmdArgs := rest[0], rest[1:]
@@ -233,6 +235,35 @@ func run(args []string) error {
 		for _, e := range evs {
 			fmt.Printf("[%s] %-6s %-16s %s\n", e.At, e.Conn, e.Kind, e.Text)
 		}
+		return nil
+
+	case "metrics":
+		text, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+
+	case "trace":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		format := fs.String("format", "chrome", "chrome (trace_event JSON for ui.perfetto.dev) | jsonl")
+		out := fs.String("o", "", "output file (default stdout)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		raw, err := c.Trace(*format)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			_, err = os.Stdout.Write(raw)
+			return err
+		}
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes to %s (load in ui.perfetto.dev or chrome://tracing)\n", len(raw), *out)
 		return nil
 
 	case "topology":

@@ -13,6 +13,7 @@
 //	griphond -topo backbone          # 14-node US backbone
 //	griphond -topo continental -pops 75 -sites 8
 //	griphond -listen :9000 -seed 7
+//	griphond -trace                  # record spans; GET /api/v1/trace
 package main
 
 import (
@@ -33,9 +34,10 @@ func main() {
 	sites := flag.Int("sites", 8, "site count for -topo continental")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	autoRepair := flag.Bool("auto-repair", true, "dispatch repair crews automatically after cuts")
+	trace := flag.Bool("trace", false, "record virtual-time spans; export via GET /api/v1/trace")
 	flag.Parse()
 
-	net, desc, err := buildNetwork(*topoName, *pops, *sites, *seed, *autoRepair)
+	net, desc, err := buildNetwork(*topoName, *pops, *sites, *seed, *autoRepair, *trace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -47,7 +49,7 @@ func main() {
 }
 
 // buildNetwork assembles the simulated network for the chosen topology.
-func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair bool) (*griphon.Network, string, error) {
+func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair, trace bool) (*griphon.Network, string, error) {
 	var topo *griphon.Topology
 	switch topoName {
 	case "testbed":
@@ -67,6 +69,9 @@ func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair bool)
 	opts := []griphon.Option{griphon.WithSeed(seed)}
 	if autoRepair {
 		opts = append(opts, griphon.WithAutoRepair())
+	}
+	if trace {
+		opts = append(opts, griphon.WithTracing())
 	}
 	net, err := griphon.New(topo, opts...)
 	if err != nil {

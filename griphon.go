@@ -2,11 +2,13 @@ package griphon
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"griphon/internal/bw"
 	"griphon/internal/core"
 	"griphon/internal/inventory"
+	"griphon/internal/obs"
 	"griphon/internal/sim"
 	"griphon/internal/topo"
 )
@@ -63,8 +65,9 @@ type Maintenance = core.Maintenance
 type Option func(*config)
 
 type config struct {
-	seed int64
-	core core.Config
+	seed    int64
+	core    core.Config
+	tracing bool
 }
 
 // WithSeed sets the simulation seed (default 1). Runs with equal seeds are
@@ -114,6 +117,13 @@ func WithAutoRevert() Option {
 	return func(c *config) { c.core.AutoRevert = true }
 }
 
+// WithTracing records a virtual-time span for every controller operation, EMS
+// command and RWA search. Export the trace with TraceTo / TraceJSONLTo. Off by
+// default: the disabled path costs zero allocations on the hot paths.
+func WithTracing() Option {
+	return func(c *config) { c.tracing = true }
+}
+
 // Network is a GRIPhoN deployment: the photonic plant, the OTN overlay, the
 // vendor EMSes and the GRIPhoN controller, all running on one virtual clock.
 // Network is not safe for concurrent use; the simulation is single-threaded
@@ -147,6 +157,9 @@ func New(t *Topology, opts ...Option) (*Network, error) {
 		oc.RegensPerNode = 2
 	}
 	k := sim.NewKernel(cfg.seed)
+	if cfg.tracing {
+		cfg.core.Tracer = obs.NewTracer(k)
+	}
 	ctrl, err := core.New(k, t.g, cfg.core)
 	if err != nil {
 		return nil, err
@@ -326,6 +339,38 @@ func (n *Network) SetQuota(customer string, maxConns int, maxBandwidth Rate) {
 
 // Stats returns a resource snapshot.
 func (n *Network) Stats() Stats { return n.ctrl.Snapshot() }
+
+// Tracer returns the network's span recorder (nil unless WithTracing).
+func (n *Network) Tracer() *obs.Tracer { return n.ctrl.Tracer() }
+
+// Metrics returns the network's instrument registry (always non-nil); its
+// Prometheus rendering is what GET /api/v1/metrics serves.
+func (n *Network) Metrics() *obs.Registry { return n.ctrl.Metrics() }
+
+// TraceTo writes the recorded spans in Chrome trace_event JSON — loadable in
+// chrome://tracing or ui.perfetto.dev, with one track per EMS so a setup
+// renders as the paper's step ladder. Fails unless WithTracing was set.
+func (n *Network) TraceTo(w io.Writer) error {
+	tr := n.ctrl.Tracer()
+	if !tr.Enabled() {
+		return fmt.Errorf("griphon: tracing is off; construct the network with WithTracing")
+	}
+	return tr.WriteChromeTrace(w)
+}
+
+// TraceJSONLTo writes the recorded spans as JSON Lines (one span per line).
+func (n *Network) TraceJSONLTo(w io.Writer) error {
+	tr := n.ctrl.Tracer()
+	if !tr.Enabled() {
+		return fmt.Errorf("griphon: tracing is off; construct the network with WithTracing")
+	}
+	return tr.WriteJSONL(w)
+}
+
+// MetricsTo writes every instrument in Prometheus text format.
+func (n *Network) MetricsTo(w io.Writer) error {
+	return n.ctrl.Metrics().WritePrometheus(w)
+}
 
 // Events returns the audit log.
 func (n *Network) Events() []Event { return n.ctrl.Events() }

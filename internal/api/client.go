@@ -153,6 +153,44 @@ func (c *Client) Bill(customer string) (BillJSON, error) {
 	return out, err
 }
 
+// raw fetches a non-JSON endpoint body verbatim.
+func (c *Client) raw(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr ErrorJSON
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("griphond: %s", apiErr.Error)
+		}
+		return nil, fmt.Errorf("griphond: HTTP %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// Metrics fetches the instrument registry in Prometheus text format.
+func (c *Client) Metrics() (string, error) {
+	body, err := c.raw("/api/v1/metrics")
+	return string(body), err
+}
+
+// Trace fetches the recorded spans. format is "" or "chrome" for Chrome
+// trace_event JSON, "jsonl" for JSON Lines. Fails when the server runs
+// without tracing.
+func (c *Client) Trace(format string) ([]byte, error) {
+	path := "/api/v1/trace"
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	return c.raw(path)
+}
+
 // Topology fetches the network description.
 func (c *Client) Topology() (TopologyJSON, error) {
 	var out TopologyJSON

@@ -1,0 +1,228 @@
+package api
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"griphon"
+)
+
+func newTracingServer(t *testing.T) (*Client, *griphon.Network) {
+	t.Helper()
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(5), griphon.WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(net).Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), net
+}
+
+// TestWriteJSONEncodeError exercises the 500 path: a value json.Marshal cannot
+// encode must yield a well-formed error body (not a truncated 200) and bump
+// the encode-error counter.
+func TestWriteJSONEncodeError(t *testing.T) {
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(net)
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]float64{"oops": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var apiErr ErrorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil {
+		t.Fatalf("error body is not valid JSON: %v (%q)", err, rec.Body.String())
+	}
+	if !strings.Contains(apiErr.Error, "encoding response") {
+		t.Errorf("error = %q", apiErr.Error)
+	}
+	if got := s.encodeErrs.Value(); got != 1 {
+		t.Errorf("griphon_api_encode_errors_total = %v, want 1", got)
+	}
+	// The counter is the controller's instrument, so the failure shows up in
+	// the metrics export too.
+	var b strings.Builder
+	if err := net.MetricsTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "griphon_api_encode_errors_total 1") {
+		t.Error("encode error not visible in metrics export")
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Connections[0].ID
+	all, err := c.Events("")
+	if err != nil || len(all) == 0 {
+		t.Fatalf("events = %d, %v", len(all), err)
+	}
+	kinds := map[string]bool{}
+	for _, e := range all {
+		if e.At == "" || e.Kind == "" {
+			t.Errorf("malformed event %+v", e)
+		}
+		kinds[e.Kind] = true
+	}
+	if !kinds["request"] || !kinds["active"] {
+		t.Errorf("kinds = %v, want request and active", kinds)
+	}
+	filtered, err := c.Events(id)
+	if err != nil || len(filtered) == 0 || len(filtered) > len(all) {
+		t.Fatalf("filtered events = %d of %d, %v", len(filtered), len(all), err)
+	}
+	for _, e := range filtered {
+		if e.Conn != id {
+			t.Errorf("filter leaked event for %q", e.Conn)
+		}
+	}
+	none, err := c.Events("no-such-conn")
+	if err != nil || len(none) != 0 {
+		t.Errorf("events for unknown conn = %d, %v", len(none), err)
+	}
+}
+
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9].*$`)
+
+// TestMetricsEndpoint scripts setup -> cut -> restore and checks the
+// Prometheus rendering: valid text format, at least 10 distinct instruments,
+// and exact values for the counters the script must have moved.
+func TestMetricsEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cut(resp.Connections[0].Route); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance("10m"); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural validity: every line is a comment or a sample, every sample
+	// is preceded by its family's HELP and TYPE.
+	families := map[string]bool{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("bad sample line %q", line)
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i > 0 {
+			name = line[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !families[name] && !families[base] {
+			t.Errorf("sample %q has no preceding TYPE", name)
+		}
+		typed[base] = true
+	}
+	if len(families) < 10 {
+		t.Errorf("distinct instruments = %d, want >= 10", len(families))
+	}
+
+	// Golden lines the scripted setup -> cut -> restore must produce
+	// (deterministic under WithSeed(5)).
+	for _, want := range []string{
+		`griphon_setups_total{layer="dwdm",outcome="ok"} 1`,
+		`griphon_fiber_cuts_total 1`,
+		`griphon_restorations_total{outcome="restored"} 1`,
+		`griphon_restoration_seconds_count{layer="dwdm"} 1`,
+		`griphon_connections{state="active"} 1`,
+		`griphon_down_links 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The restoration latency histogram saw a DWDM restoration somewhere in
+	// the tens of seconds, so the +Inf bucket and the 600 s bucket both hold
+	// the observation while the 50 ms one does not.
+	if !strings.Contains(text, `griphon_restoration_seconds_bucket{layer="dwdm",le="600"} 1`) {
+		t.Error("restoration histogram missing 600 s bucket observation")
+	}
+	if !strings.Contains(text, `griphon_restoration_seconds_bucket{layer="dwdm",le="0.05"} 0`) {
+		t.Error("restoration histogram should have empty 50 ms bucket")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	c, _ := newTracingServer(t)
+	if _, err := c.Connect(ConnectRequest{Customer: "acme", From: "DC-A", To: "DC-C", Rate: "10G"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Trace("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"op:setup", "lightpath:setup", "rwa:search"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+
+	lines, err := c.Trace("jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(lines)), "\n") {
+		var span map[string]any
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("empty JSONL trace")
+	}
+
+	if _, err := c.Trace("bogus"); err == nil || !strings.Contains(err.Error(), "unknown trace format") {
+		t.Errorf("bogus format err = %v", err)
+	}
+}
+
+func TestTraceEndpointRequiresTracing(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.Trace(""); err == nil || !strings.Contains(err.Error(), "tracing is off") {
+		t.Errorf("trace without tracing err = %v", err)
+	}
+}

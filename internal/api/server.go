@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"griphon"
+	"griphon/internal/obs"
 	"griphon/internal/sim"
 	"griphon/internal/topo"
 )
@@ -19,10 +20,19 @@ import (
 type Server struct {
 	mu  sync.Mutex
 	net *griphon.Network
+	// encodeErrs counts responses that failed to encode or write — the same
+	// instrument the controller registers, fetched from the shared registry.
+	encodeErrs *obs.Counter
 }
 
 // NewServer wraps a network.
-func NewServer(net *griphon.Network) *Server { return &Server{net: net} }
+func NewServer(net *griphon.Network) *Server {
+	return &Server{
+		net: net,
+		encodeErrs: net.Metrics().Counter("griphon_api_encode_errors_total",
+			"HTTP API responses that failed to encode or write."),
+	}
+}
 
 // Handler returns the API's routing table.
 func (s *Server) Handler() http.Handler {
@@ -32,6 +42,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/topology", s.handleTopology)
 	mux.HandleFunc("GET /api/v1/bill", s.handleBill)
+	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/trace", s.handleTrace)
 	mux.HandleFunc("POST /api/v1/connect", s.handleConnect)
 	mux.HandleFunc("POST /api/v1/disconnect", s.handleDisconnect)
 	mux.HandleFunc("POST /api/v1/roll", s.handleRoll)
@@ -45,21 +57,35 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v fully before touching the ResponseWriter, so an encode
+// failure still yields a well-formed 500 instead of a truncated 200 body.
+// Encode and write failures both count in griphon_api_encode_errors_total.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		s.encodeErrs.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		msg, _ := json.Marshal(ErrorJSON{Error: fmt.Sprintf("encoding response: %s", err)})
+		w.Write(msg) //nolint:errcheck // best effort on the error path
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+	if _, err := w.Write(append(buf, '\n')); err != nil {
+		s.encodeErrs.Inc() // client gone; record it and move on
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorJSON{Error: err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, ErrorJSON{Error: err.Error()})
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -74,43 +100,43 @@ func (s *Server) handleConnections(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	cust := r.URL.Query().Get("customer")
 	if cust == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("customer query parameter required"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("customer query parameter required"))
 		return
 	}
 	var out []ConnectionJSON
 	for _, c := range s.net.Connections(cust) {
 		out = append(out, FromConnection(c, s.now(), s.graph()))
 	}
-	writeJSON(w, http.StatusOK, ConnectResponse{Connections: out})
+	s.writeJSON(w, http.StatusOK, ConnectResponse{Connections: out})
 }
 
 func (s *Server) handleConnect(w http.ResponseWriter, r *http.Request) {
 	var req ConnectRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rate, err := griphon.ParseRate(req.Rate)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	protect, err := parseProtection(req.Protection)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	before := len(s.net.Connections(req.Customer))
 	if _, err := s.net.Connect(req.Customer, req.From, req.To, rate, protect); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
 	var out []ConnectionJSON
 	for _, c := range s.net.Connections(req.Customer)[before:] {
 		out = append(out, FromConnection(c, s.now(), s.graph()))
 	}
-	writeJSON(w, http.StatusOK, ConnectResponse{Connections: out})
+	s.writeJSON(w, http.StatusOK, ConnectResponse{Connections: out})
 }
 
 func parseProtection(s string) (griphon.Protection, error) {
@@ -129,67 +155,67 @@ func parseProtection(s string) (griphon.Protection, error) {
 
 func (s *Server) handleDisconnect(w http.ResponseWriter, r *http.Request) {
 	var req DisconnectRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.net.Disconnect(req.Customer, griphon.ConnID(req.ID)); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
 }
 
 func (s *Server) handleRoll(w http.ResponseWriter, r *http.Request) {
 	var req RollRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.net.BridgeAndRoll(req.Customer, griphon.ConnID(req.ID)); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
 	conn := s.net.Conn(griphon.ConnID(req.ID))
-	writeJSON(w, http.StatusOK, FromConnection(conn, s.now(), s.graph()))
+	s.writeJSON(w, http.StatusOK, FromConnection(conn, s.now(), s.graph()))
 }
 
 func (s *Server) handleRegroom(w http.ResponseWriter, r *http.Request) {
 	var req RollRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	moved, err := s.net.Regroom(req.Customer, griphon.ConnID(req.ID))
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
 	conn := s.net.Conn(griphon.ConnID(req.ID))
-	writeJSON(w, http.StatusOK, RegroomResponse{Moved: moved, Connection: FromConnection(conn, s.now(), s.graph())})
+	s.writeJSON(w, http.StatusOK, RegroomResponse{Moved: moved, Connection: FromConnection(conn, s.now(), s.graph())})
 }
 
 func (s *Server) handleAdjust(w http.ResponseWriter, r *http.Request) {
 	var req AdjustRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rate, err := griphon.ParseRate(req.Rate)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.net.AdjustRate(req.Customer, griphon.ConnID(req.ID), rate); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
 	conn := s.net.Conn(griphon.ConnID(req.ID))
-	writeJSON(w, http.StatusOK, FromConnection(conn, s.now(), s.graph()))
+	s.writeJSON(w, http.StatusOK, FromConnection(conn, s.now(), s.graph()))
 }
 
 func (s *Server) handleDefrag(w http.ResponseWriter, r *http.Request) {
@@ -197,10 +223,10 @@ func (s *Server) handleDefrag(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	moved, err := s.net.DefragmentSpectrum()
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DefragResponse{
+	s.writeJSON(w, http.StatusOK, DefragResponse{
 		Retuned:       moved,
 		MaxChannelNow: s.net.Controller().MaxChannelInUse(),
 	})
@@ -208,52 +234,52 @@ func (s *Server) handleDefrag(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
 	var req LinkRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.net.CutFiber(req.Link); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "cut"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "cut"})
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	var req LinkRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.net.RepairFiber(req.Link); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "repaired"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "repaired"})
 }
 
 func (s *Server) handleMaintenance(w http.ResponseWriter, r *http.Request) {
 	var req LinkRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	in, err := time.ParseDuration(valueOr(req.In, "1m"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	window, err := time.ParseDuration(valueOr(req.Window, "2h"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	m, err := s.net.ScheduleMaintenance(req.Link, in, window)
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
 	// Let the whole window play out so the response is conclusive.
@@ -265,7 +291,7 @@ func (s *Server) handleMaintenance(w http.ResponseWriter, r *http.Request) {
 	for _, id := range m.Unmoved {
 		out.Unmoved = append(out.Unmoved, string(id))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func valueOr(s, def string) string {
@@ -277,18 +303,18 @@ func valueOr(s, def string) string {
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	var req AdvanceRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, err := time.ParseDuration(req.Duration)
 	if err != nil || d < 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad duration %q", req.Duration))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad duration %q", req.Duration))
 		return
 	}
 	s.net.Advance(d)
-	writeJSON(w, http.StatusOK, map[string]string{"now": s.net.Now().String()})
+	s.writeJSON(w, http.StatusOK, map[string]string{"now": s.net.Now().String()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +339,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, l := range st.DownLinks {
 		out.DownLinks = append(out.DownLinks, string(l))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -332,7 +358,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			At: e.At.String(), Conn: string(e.Conn), Kind: e.Kind, Text: e.Text,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.net.MetricsTo(w); err != nil {
+		s.encodeErrs.Inc()
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.net.Tracer().Enabled() {
+		s.writeErr(w, http.StatusConflict,
+			fmt.Errorf("tracing is off; start the network with tracing enabled"))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.net.TraceTo(w); err != nil {
+			s.encodeErrs.Inc()
+		}
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := s.net.TraceJSONLTo(w); err != nil {
+			s.encodeErrs.Inc()
+		}
+	default:
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown trace format %q", format))
+	}
 }
 
 func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
@@ -340,10 +399,10 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	cust := r.URL.Query().Get("customer")
 	if cust == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("customer query parameter required"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("customer query parameter required"))
 		return
 	}
-	writeJSON(w, http.StatusOK, BillJSON{Customer: cust, GbHours: s.net.BillGbHours(cust)})
+	s.writeJSON(w, http.StatusOK, BillJSON{Customer: cust, GbHours: s.net.BillGbHours(cust)})
 }
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
@@ -360,5 +419,5 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	for _, site := range g.Sites() {
 		out.Sites = append(out.Sites, fmt.Sprintf("%s @ %s (%.0fG access)", site.ID, site.Home, site.AccessGbps))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

@@ -6,6 +6,7 @@ import (
 	"griphon/internal/bw"
 	"griphon/internal/ems"
 	"griphon/internal/inventory"
+	"griphon/internal/obs"
 	"griphon/internal/otn"
 	"griphon/internal/sim"
 )
@@ -66,16 +67,21 @@ func (c *Controller) AdjustRate(cust inventory.Customer, id ConnID, newRate bw.R
 		}
 	}
 
+	adjSp := c.tr.Start(obs.SpanRef{}, "op:adjust")
+	adjSp.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
 	var job *sim.Job
 	switch conn.Layer {
 	case LayerOTN:
-		job, err = c.adjustCircuit(txn, conn, newRate)
+		job, err = c.adjustCircuit(txn, conn, newRate, adjSp)
 	case LayerDWDM:
-		job, err = c.adjustWavelength(conn, newRate)
+		job, err = c.adjustWavelength(conn, newRate, adjSp)
 	}
 	if err != nil {
+		adjSp.EndErr(err)
 		return nil, err
 	}
+	job.OnDone(func(err error) { adjSp.EndErr(err) })
+	c.ins.adjusts.Inc()
 
 	conn.settleUsage(c.k.Now()) // bill the old rate up to this instant
 	oldRate := conn.Rate
@@ -91,7 +97,7 @@ func (c *Controller) AdjustRate(cust inventory.Customer, id ConnID, newRate bw.R
 }
 
 // adjustCircuit resizes an OTN circuit on its existing pipes.
-func (c *Controller) adjustCircuit(txn *inventory.Txn, conn *Connection, newRate bw.Rate) (*sim.Job, error) {
+func (c *Controller) adjustCircuit(txn *inventory.Txn, conn *Connection, newRate bw.Rate, parent obs.SpanRef) (*sim.Job, error) {
 	newSlots, err := otn.SlotsFor(newRate)
 	if err != nil {
 		return nil, err
@@ -136,12 +142,12 @@ func (c *Controller) adjustCircuit(txn *inventory.Txn, conn *Connection, newRate
 	}
 	// Reprogram the switches (hitless: make-before-break inside the
 	// switch fabric).
-	return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(conn.pipes) + 1)), nil
+	return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(conn.pipes)+1, parent)), nil
 }
 
 // adjustWavelength re-tunes a wavelength connection to a different line rate
 // on its existing transponders and path.
-func (c *Controller) adjustWavelength(conn *Connection, newRate bw.Rate) (*sim.Job, error) {
+func (c *Controller) adjustWavelength(conn *Connection, newRate bw.Rate, parent obs.SpanRef) (*sim.Job, error) {
 	lp := conn.working()
 	for _, ot := range lp.ots {
 		if ot != nil && ot.MaxRate < newRate {
@@ -170,8 +176,8 @@ func (c *Controller) adjustWavelength(conn *Connection, newRate bw.Rate) (*sim.J
 	c.k.After(hit, func() {
 		conn.endOutage(c.k.Now())
 		batch := c.roadmEMS.SubmitBatch([]ems.Command{
-			{Name: "rate-retune", Dur: c.jit(c.lat.LaserTune)},
-			{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd)},
+			{Name: "rate-retune", Dur: c.jit(c.lat.LaserTune), Span: parent},
+			{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: parent},
 		})
 		batch.OnDone(func(err error) { out.Complete(err) })
 	})

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"griphon/internal/bw"
+	"griphon/internal/obs"
 	"griphon/internal/sim"
 	"griphon/internal/topo"
 )
@@ -34,6 +35,51 @@ func BenchmarkConnectDisconnect(b *testing.B) {
 		if td.Err() != nil {
 			b.Fatal(td.Err())
 		}
+	}
+}
+
+// BenchmarkSetupNoTrace measures the full wavelength lifecycle with tracing
+// disabled — the allocation baseline CI watches: the nil-tracer span calls on
+// this path must cost nothing (internal/obs's TestDisabledObsZeroAllocs is
+// the direct zero-allocation proof; this benchmark catches regressions in
+// context).
+func BenchmarkSetupNoTrace(b *testing.B) { benchSetupLifecycle(b, false) }
+
+// BenchmarkSetupTraced is the same lifecycle with the span recorder on, for
+// measuring what tracing costs when enabled.
+func BenchmarkSetupTraced(b *testing.B) { benchSetupLifecycle(b, true) }
+
+func benchSetupLifecycle(b *testing.B, traced bool) {
+	k := sim.NewKernel(1)
+	cfg := Config{}
+	if traced {
+		cfg.Tracer = obs.NewTracer(k)
+	}
+	c, err := New(k, topo.Testbed(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		conn, job, err := c.Connect(Request{Customer: "b", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+		if job.Err() != nil {
+			b.Fatal(job.Err())
+		}
+		td, err := c.Disconnect("b", conn.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+		if td.Err() != nil {
+			b.Fatal(td.Err())
+		}
+		// Keep the traced run's memory bounded so both variants measure the
+		// per-lifecycle cost, not an ever-growing span log.
+		c.tr.Reset()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"griphon/internal/ems"
 	"griphon/internal/fxc"
 	"griphon/internal/inventory"
+	"griphon/internal/obs"
 	"griphon/internal/optics"
 	"griphon/internal/otn"
 	"griphon/internal/roadm"
@@ -43,6 +44,13 @@ type Config struct {
 	// bank. Default: one port per transponder plus two per regenerator,
 	// so the transponder pool is the binding constraint.
 	AddDropPorts int
+	// Tracer records virtual-time spans around every controller operation
+	// and EMS command. Nil (the default) disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Metrics is the instrument registry the controller populates. Nil
+	// means a fresh private registry; pass one to share instruments with
+	// an embedding harness.
+	Metrics *obs.Registry
 }
 
 // Controller is the GRIPhoN controller: the only component that talks to the
@@ -74,6 +82,10 @@ type Controller struct {
 	repairing  map[topo.LinkID]bool
 
 	events []Event
+
+	tr  *obs.Tracer
+	reg *obs.Registry
+	ins instruments
 
 	// pipeCarrier maps an OTN pipe to the internal wavelength connection
 	// that carries it.
@@ -147,11 +159,21 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		repairing:    make(map[topo.LinkID]bool),
 		pipeCarrier:  make(map[otn.PipeID]ConnID),
 		pendingPipes: make(map[string]*sim.Job),
+		tr:           cfg.Tracer,
+		reg:          cfg.Metrics,
 	}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	c.roadmEMS.SetTracer(c.tr)
+	c.otnEMS.SetTracer(c.tr)
 	for _, n := range g.Nodes() {
 		c.fxcs[n.ID] = fxc.Standard(n.ID, nClient, nLine, 16)
-		c.fxcEMS[n.ID] = ems.NewManager(fmt.Sprintf("fxc-ctl-%s", n.ID), k)
+		m := ems.NewManager(fmt.Sprintf("fxc-ctl-%s", n.ID), k)
+		m.SetTracer(c.tr)
+		c.fxcEMS[n.ID] = m
 	}
+	c.initObs()
 	c.correlator = alarms.NewCorrelator(k, window, c.onAlarmBatch)
 	return c, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"griphon/internal/ems"
+	"griphon/internal/obs"
 	"griphon/internal/sim"
 )
 
@@ -17,6 +18,7 @@ import (
 // the old channel. It returns a job completing when all retunes finish and
 // the number of connections moved.
 func (c *Controller) DefragmentSpectrum() (*sim.Job, int) {
+	sp := c.tr.Start(obs.SpanRef{}, "op:defrag")
 	var jobs []*sim.Job
 	moved := 0
 	for _, conn := range c.Connections() {
@@ -25,10 +27,13 @@ func (c *Controller) DefragmentSpectrum() (*sim.Job, int) {
 		}
 		if c.retuneDown(conn) {
 			moved++
-			jobs = append(jobs, c.retuneJob(conn))
+			c.ins.retunes.Inc()
+			jobs = append(jobs, c.retuneJob(conn, sp))
 		}
 	}
-	return sim.All(c.k, jobs...), moved
+	job := sim.All(c.k, jobs...)
+	job.OnDone(func(err error) { sp.EndErr(err) })
+	return job, moved
 }
 
 // retuneDown moves every segment of conn's working lightpath to the lowest
@@ -86,15 +91,15 @@ func (c *Controller) retuneDown(conn *Connection) bool {
 }
 
 // retuneJob models the EMS work and brief hit of re-tuning a live wavelength.
-func (c *Controller) retuneJob(conn *Connection) *sim.Job {
+func (c *Controller) retuneJob(conn *Connection, parent obs.SpanRef) *sim.Job {
 	out := c.k.NewJob()
 	hit := c.jit(c.lat.ProtectionSwitch)
 	conn.beginOutage(c.k.Now())
 	c.k.After(hit, func() {
 		conn.endOutage(c.k.Now())
 		c.roadmEMS.SubmitBatch([]ems.Command{
-			{Name: fmt.Sprintf("defrag-retune:%s", conn.ID), Dur: c.jit(c.lat.LaserTune)},
-			{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd)},
+			{Name: fmt.Sprintf("defrag-retune:%s", conn.ID), Dur: c.jit(c.lat.LaserTune), Span: parent},
+			{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: parent},
 		}).OnDone(func(err error) { out.Complete(err) })
 	})
 	return out

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"griphon/internal/alarms"
+	"griphon/internal/obs"
 	"griphon/internal/otn"
 	"griphon/internal/topo"
 )
@@ -22,6 +23,7 @@ func (c *Controller) CutFiber(link topo.LinkID) error {
 		return fmt.Errorf("core: link %s is already down", link)
 	}
 	c.plant.SetLinkUp(link, false)
+	c.ins.cuts.Inc()
 	c.log("", "fiber-cut", "link %s cut", link)
 
 	for _, conn := range c.Connections() {
@@ -68,6 +70,13 @@ func (c *Controller) hitByCut(conn *Connection, link topo.LinkID) {
 
 	conn.beginOutage(c.k.Now())
 	conn.State = StateDown
+	if conn.Protect == Restore {
+		// op:restore spans the whole outage; its children tile it:
+		// detect (cut -> correlated alarms), localize, provision.
+		conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:restore")
+		conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
+		conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:detect")
+	}
 	c.log(conn.ID, "down", "working path lost on %s", link)
 	c.failCarriedPipe(conn)
 
@@ -102,6 +111,8 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 		c.failCarriedPipe(conn)
 		return
 	}
+	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:protect-switch")
+	conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
 	c.k.After(c.jit(c.lat.ProtectionSwitch), func() {
 		if conn.State != StateActive && conn.State != StateDown {
 			return
@@ -109,6 +120,8 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 		conn.onProtect = !conn.onProtect
 		conn.State = StateActive
 		conn.endOutage(c.k.Now())
+		conn.opSpan.End()
+		c.ins.protSwitches.Inc()
 		c.log(conn.ID, "protect-switch", "traffic on %s leg", map[bool]string{true: "protect", false: "working"}[conn.onProtect])
 	})
 }
@@ -138,14 +151,22 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 	}
 	conn.beginOutage(c.k.Now())
 	conn.State = StateDown
+	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:restore")
+	conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
+	conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:detect")
 	c.log(conn.ID, "down", "pipe %s failed", pipe)
 
 	if len(conn.backup) == 0 {
+		// op:restore stays open: it closes when the DWDM layer restores
+		// the pipe and the circuit revives.
+		conn.phaseSpan.EndOutcome("no-backup")
 		return // wait for DWDM-layer restoration of the pipe
 	}
 	// Backup must itself be alive.
 	for _, p := range conn.backup {
 		if !p.Up() {
+			conn.phaseSpan.EndOutcome("blocked")
+			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "shared-mesh backup pipe %s also down", p.ID())
 			return
 		}
@@ -155,7 +176,12 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 		if conn.State != StateDown {
 			return
 		}
+		conn.phaseSpan.End()
+		conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:activate")
 		if err := otn.ActivatePath(conn.backup, string(conn.ID)); err != nil {
+			conn.phaseSpan.EndOutcome("blocked")
+			conn.opSpan.EndOutcome("blocked")
+			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "shared-mesh activation failed: %v", err)
 			return
 		}
@@ -169,9 +195,14 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 			otn.ReleasePath(conn.pipes, string(conn.ID)) //nolint:errcheck // leaving old path
 			conn.pipes = conn.backup
 			conn.backup = nil
+			d := c.k.Now().Sub(conn.outageStart)
 			conn.State = StateActive
 			conn.endOutage(c.k.Now())
 			conn.Restorations++
+			conn.phaseSpan.End()
+			conn.opSpan.End()
+			c.ins.restored.Inc()
+			c.ins.restoreSecs[LayerOTN].Observe(d.Seconds())
 			c.log(conn.ID, "restored", "shared-mesh restoration in %v", conn.TotalOutage)
 		})
 	})
@@ -190,6 +221,7 @@ func (c *Controller) RepairFiber(link topo.LinkID) error {
 	}
 	c.plant.SetLinkUp(link, true)
 	delete(c.repairing, link)
+	c.ins.repairs.Inc()
 	c.log("", "repair", "link %s repaired", link)
 
 	for _, conn := range c.Connections() {
@@ -202,6 +234,8 @@ func (c *Controller) RepairFiber(link topo.LinkID) error {
 			if lp != nil && c.plant.PathUp(lp.route.Path) {
 				conn.State = StateActive
 				conn.endOutage(c.k.Now())
+				conn.phaseSpan.EndOutcome("revived")
+				conn.opSpan.EndOutcome("revived")
 				c.log(conn.ID, "revived", "working path whole again after repair")
 				c.revivePipe(conn)
 				continue
@@ -271,6 +305,8 @@ func (c *Controller) reviveCircuitIfWhole(conn *Connection) {
 	}
 	conn.State = StateActive
 	conn.endOutage(c.k.Now())
+	conn.phaseSpan.EndOutcome("revived")
+	conn.opSpan.EndOutcome("revived")
 	c.log(conn.ID, "revived", "all pipes whole again")
 }
 
@@ -306,6 +342,15 @@ func (c *Controller) onAlarmBatch(batch []alarms.Alarm) {
 	suspects := alarms.PrimarySuspects(alarms.Localize(alarmedPaths, healthyPaths))
 	c.log("", "localized", "%d alarms -> suspects %v", len(batch), suspects)
 
+	// The correlated alarms have arrived: detection is over, localization
+	// begins — the phase spans tile the op:restore interval exactly.
+	for _, conn := range alarmedConns {
+		if conn.State == StateDown && conn.Protect == Restore {
+			conn.phaseSpan.End()
+			conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:localize")
+		}
+	}
+
 	c.k.After(c.jit(c.lat.Localize), func() {
 		for _, conn := range alarmedConns {
 			if conn.State == StateDown && conn.Protect == Restore {
@@ -325,20 +370,27 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 	if old == nil {
 		return
 	}
+	// Localization done; the provisioning phase covers route search, EMS
+	// choreography and verification until the outage ends.
+	conn.phaseSpan.End()
+	conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:provision")
 	avoid := map[topo.LinkID]bool{}
 	for _, l := range suspects {
 		avoid[l] = true
 	}
 	a, b := old.route.Path.Src(), old.route.Path.Dst()
-	newlp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, old, false)
+	newlp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, old, false, conn.phaseSpan)
 	if err != nil {
+		conn.phaseSpan.EndOutcome("blocked")
+		conn.opSpan.EndOutcome("blocked")
+		c.ins.restoreBlocked.Inc()
 		c.log(conn.ID, "restore-blocked", "no restoration path: %v", err)
 		return // stays Down; revived on repair
 	}
 	conn.State = StateRestoring
 	c.log(conn.ID, "restore-start", "re-provisioning onto %s", newlp.route.Path)
 
-	c.lightpathSetupJob(newlp).OnDone(func(err error) {
+	c.lightpathSetupJob(newlp, conn.phaseSpan).OnDone(func(err error) {
 		if conn.State != StateRestoring {
 			// Torn down mid-restoration; return the new resources.
 			c.releaseLightpathMiddle(newlp)
@@ -347,6 +399,9 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 		if err != nil {
 			c.releaseLightpathMiddle(newlp)
 			conn.State = StateDown
+			conn.phaseSpan.EndOutcome("blocked")
+			conn.opSpan.EndOutcome("blocked")
+			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "EMS failure: %v", err)
 			return
 		}
@@ -354,15 +409,23 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 			// The restoration path itself was cut while being built.
 			c.releaseLightpathMiddle(newlp)
 			conn.State = StateDown
+			conn.phaseSpan.EndOutcome("blocked")
+			conn.opSpan.EndOutcome("blocked")
+			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "restoration path failed during setup")
 			return
 		}
 		c.releaseLightpathMiddle(old)
 		conn.path = newlp
 		conn.onProtect = false
+		d := c.k.Now().Sub(conn.outageStart)
 		conn.State = StateActive
 		conn.endOutage(c.k.Now())
 		conn.Restorations++
+		conn.phaseSpan.End()
+		conn.opSpan.End()
+		c.ins.restored.Inc()
+		c.ins.restoreSecs[LayerDWDM].Observe(d.Seconds())
 		c.log(conn.ID, "restored", "outage %v", conn.TotalOutage)
 		c.revivePipe(conn)
 	})

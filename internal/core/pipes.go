@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"griphon/internal/ems"
+	"griphon/internal/obs"
 	"griphon/internal/otn"
 	"griphon/internal/sim"
 	"griphon/internal/topo"
@@ -41,11 +42,16 @@ func (c *Controller) connectCircuit(conn *Connection, a, b topo.NodeID) (*sim.Jo
 				return nil
 			}
 			if pending := c.pendingPipe(a, b); pending != nil {
+				sp := c.tr.Start(conn.opSpan, "pipe:wait")
+				pending.OnDone(func(err error) { sp.EndErr(err) })
 				c.log(conn.ID, "pipe-wait", "waiting for in-flight pipe %s-%s", a, b)
 				return pending
 			}
 			c.log(conn.ID, "pipe-build", "no OTN capacity %s->%s, lighting a new wavelength", a, b)
-			return c.startPipeBuild(a, b, otn.ODU2)
+			sp := c.tr.Start(conn.opSpan, "pipe:wait")
+			j := c.startPipeBuild(a, b, otn.ODU2)
+			j.OnDone(func(err error) { sp.EndErr(err) })
+			return j
 		}).
 		// Reserve tributary slots (and a best-effort shared-mesh backup).
 		ThenDo(func() error {
@@ -66,9 +72,14 @@ func (c *Controller) connectCircuit(conn *Connection, a, b topo.NodeID) (*sim.Jo
 			return nil
 		}).
 		// Program the electronic cross-connects.
-		ThenWait(c.jit(c.lat.ControllerOverhead)).
 		Then(func() *sim.Job {
-			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(pipes) + 1))
+			osp := c.tr.Start(conn.opSpan, "controller-overhead")
+			j := c.k.AfterJob(c.jit(c.lat.ControllerOverhead), nil)
+			j.OnDone(func(err error) { osp.EndErr(err) })
+			return j
+		}).
+		Then(func() *sim.Job {
+			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(pipes)+1, conn.opSpan))
 		})
 
 	job := seq.Go()
@@ -99,12 +110,13 @@ func (c *Controller) reserveSharedBackup(conn *Connection, a, b topo.NodeID) {
 
 // circuitProgramCmds is the OTN EMS batch for programming a circuit across
 // nSwitches switches.
-func (c *Controller) circuitProgramCmds(nSwitches int) []ems.Command {
+func (c *Controller) circuitProgramCmds(nSwitches int, parent obs.SpanRef) []ems.Command {
 	cmds := make([]ems.Command, 0, nSwitches)
 	for i := 0; i < nSwitches; i++ {
 		cmds = append(cmds, ems.Command{
 			Name: fmt.Sprintf("odu-xc:%d", i),
 			Dur:  c.jit(c.lat.OTNProgramPerSwitch),
+			Span: parent,
 		})
 	}
 	return cmds
@@ -112,11 +124,11 @@ func (c *Controller) circuitProgramCmds(nSwitches int) []ems.Command {
 
 // circuitTeardownJob is the (fast, electronic) release choreography for an
 // OTN circuit.
-func (c *Controller) circuitTeardownJob(conn *Connection) *sim.Job {
+func (c *Controller) circuitTeardownJob(conn *Connection, parent obs.SpanRef) *sim.Job {
 	return sim.NewSequence(c.k).
 		ThenWait(c.jit(c.lat.TeardownController)).
 		Then(func() *sim.Job {
-			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(conn.pipes) + 1))
+			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(conn.pipes)+1, parent))
 		}).
 		Go()
 }
@@ -165,11 +177,14 @@ func (c *Controller) buildPipe(a, b topo.NodeID, level otn.Level) *sim.Job {
 		return out
 	}
 	c.ledger.Claim(CarrierCustomer, connKey(carrier.ID)) //nolint:errcheck // fresh ID
+	carrier.opSpan = c.tr.Start(obs.SpanRef{}, "op:pipe-build")
+	carrier.opSpan.SetConn(string(carrier.ID), string(CarrierCustomer), LayerDWDM.String())
 
 	// Carrier wavelengths terminate on OTN switch line cards, not on
 	// customer FXC client ports, so no FXC pair is taken.
-	lp, err := c.reserveLightpath(carrier.ID, a, b, rate, nil, nil, false)
+	lp, err := c.reserveLightpath(carrier.ID, a, b, rate, nil, nil, false, carrier.opSpan)
 	if err != nil {
+		carrier.opSpan.EndErr(err)
 		c.ledger.Discharge(CarrierCustomer, rate)              //nolint:errcheck // undo admit
 		c.ledger.Release(CarrierCustomer, connKey(carrier.ID)) //nolint:errcheck // undo claim
 		out.Complete(fmt.Errorf("core: cannot light pipe %s-%s: %w", a, b, err))
@@ -179,7 +194,7 @@ func (c *Controller) buildPipe(a, b topo.NodeID, level otn.Level) *sim.Job {
 	c.conns[carrier.ID] = carrier
 	c.log(carrier.ID, "request", "carrier pipe wavelength %s->%s %v", a, b, rate)
 
-	c.lightpathSetupJob(lp).OnDone(func(err error) {
+	c.lightpathSetupJob(lp, carrier.opSpan).OnDone(func(err error) {
 		c.finishSetup(carrier, err)
 		if err != nil {
 			out.Complete(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"griphon/internal/inventory"
+	"griphon/internal/obs"
 	"griphon/internal/rwa"
 	"griphon/internal/sim"
 	"griphon/internal/topo"
@@ -45,15 +46,19 @@ func (c *Controller) bridgeAndRoll(conn *Connection, avoid map[topo.LinkID]bool)
 	for _, l := range old.route.Path.Links {
 		merged[l] = true
 	}
+	rollSp := c.tr.Start(obs.SpanRef{}, "op:roll")
+	rollSp.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
 	a, b := old.route.Path.Src(), old.route.Path.Dst()
-	bridge, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, merged, old, false)
+	bridge, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, merged, old, false, rollSp)
 	if err != nil {
+		rollSp.EndErr(err)
 		return nil, fmt.Errorf("core: no disjoint bridge path for %s: %w", conn.ID, err)
 	}
 	c.log(conn.ID, "roll-bridge", "building bridge on %s", bridge.route.Path)
 
 	out := c.k.NewJob()
-	c.lightpathSetupJob(bridge).OnDone(func(err error) {
+	out.OnDone(func(err error) { rollSp.EndErr(err) })
+	c.lightpathSetupJob(bridge, rollSp).OnDone(func(err error) {
 		if conn.State != StateActive {
 			// Failed or torn down while bridging; abandon the bridge.
 			c.releaseLightpathMiddle(bridge)
@@ -67,14 +72,18 @@ func (c *Controller) bridgeAndRoll(conn *Connection, avoid map[topo.LinkID]bool)
 		}
 		// Roll: an almost-hitless switch of traffic onto the bridge.
 		hit := c.jit(c.lat.RollHit)
+		hitSp := c.tr.Start(rollSp, "roll:hit")
 		conn.beginOutage(c.k.Now())
 		c.k.After(hit, func() {
 			conn.endOutage(c.k.Now())
+			hitSp.End()
 			oldWorking := conn.working()
 			c.releaseLightpathMiddle(oldWorking)
 			conn.path = bridge
 			conn.onProtect = false
 			conn.Rolls++
+			c.ins.rolls.Inc()
+			c.ins.rollHitSecs.ObserveDuration(hit)
 			c.log(conn.ID, "roll-done", "traffic on %s (hit %v)", bridge.route.Path, hit)
 			out.Complete(nil)
 		})

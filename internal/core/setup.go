@@ -7,6 +7,7 @@ import (
 	"griphon/internal/ems"
 	"griphon/internal/fxc"
 	"griphon/internal/inventory"
+	"griphon/internal/obs"
 	"griphon/internal/optics"
 	"griphon/internal/otn"
 	"griphon/internal/rwa"
@@ -121,10 +122,12 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 
 	// Admission: quota, then access pipes.
 	if err := c.ledger.Admit(req.Customer, req.Rate); err != nil {
+		c.ins.blockedAdmission.Inc()
 		return nil, nil, err
 	}
 	if err := c.reserveAccess(siteA, siteB, req.Rate); err != nil {
 		c.ledger.Discharge(req.Customer, req.Rate) //nolint:errcheck // undoing our own admit
+		c.ins.blockedAdmission.Inc()
 		return nil, nil, err
 	}
 
@@ -140,6 +143,8 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 		RequestedAt: c.k.Now(),
 	}
 	c.ledger.Claim(req.Customer, connKey(conn.ID)) //nolint:errcheck // fresh unique ID
+	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:setup")
+	conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), layer.String())
 
 	var job *sim.Job
 	switch layer {
@@ -149,6 +154,8 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 		job, err = c.connectCircuit(conn, siteA.Home, siteB.Home)
 	}
 	if err != nil {
+		conn.opSpan.EndErr(err)
+		c.ins.blockedRoute.Inc()
 		c.releaseAccess(conn.From, conn.To, conn.Rate)
 		c.ledger.Discharge(req.Customer, req.Rate)       //nolint:errcheck // undoing admit
 		c.ledger.Release(req.Customer, connKey(conn.ID)) //nolint:errcheck // undoing claim
@@ -163,7 +170,7 @@ func connKey(id ConnID) string { return "conn:" + string(id) }
 
 // connectWavelength reserves and configures a DWDM-layer connection.
 func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim.Job, error) {
-	lp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, nil, nil, true)
+	lp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, nil, nil, true, conn.opSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +181,7 @@ func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim
 		for _, l := range lp.route.Path.Links {
 			avoid[l] = true
 		}
-		plp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, nil, false)
+		plp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, nil, false, conn.opSpan)
 		if err != nil {
 			c.releaseLightpath(conn.ID, lp)
 			return nil, fmt.Errorf("core: no disjoint protect path: %w", err)
@@ -182,9 +189,9 @@ func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim
 		conn.protect = plp
 	}
 
-	job := c.lightpathSetupJob(lp)
+	job := c.lightpathSetupJob(lp, conn.opSpan)
 	if conn.protect != nil {
-		job = sim.All(c.k, job, c.lightpathSetupJob(conn.protect))
+		job = sim.All(c.k, job, c.lightpathSetupJob(conn.protect, conn.opSpan))
 	}
 	job.OnDone(func(err error) { c.finishSetup(conn, err) })
 	return job, nil
@@ -197,6 +204,8 @@ func (c *Controller) finishSetup(conn *Connection, err error) {
 		return // torn down mid-setup
 	}
 	if err != nil {
+		conn.opSpan.EndErr(err)
+		c.ins.setupFailed[conn.Layer].Inc()
 		c.log(conn.ID, "setup-failed", "%v", err)
 		c.releaseConnResources(conn)
 		conn.State = StateReleased
@@ -207,6 +216,13 @@ func (c *Controller) finishSetup(conn *Connection, err error) {
 	conn.ActiveAt = c.k.Now()
 	conn.metering = true
 	conn.meterAt = c.k.Now()
+	conn.opSpan.End()
+	if conn.Internal {
+		c.ins.pipeBuilds.Inc()
+	} else {
+		c.ins.setupOK[conn.Layer].Inc()
+		c.ins.setupSecs[conn.Layer].ObserveDuration(conn.SetupTime())
+	}
 	c.log(conn.ID, "active", "setup took %v", conn.SetupTime())
 }
 
@@ -215,7 +231,7 @@ func (c *Controller) finishSetup(conn *Connection, err error) {
 // existing lightpath (restoration and bridge-and-roll keep the ends, only the
 // middle changes). withFXC selects whether FXC client/line ports are part of
 // this lightpath (the 1+1 protect leg bridges inside the NTE instead).
-func (c *Controller) reserveLightpath(id ConnID, a, b topo.NodeID, rate bw.Rate, avoid map[topo.LinkID]bool, reuse *lightpath, withFXC bool) (*lightpath, error) {
+func (c *Controller) reserveLightpath(id ConnID, a, b topo.NodeID, rate bw.Rate, avoid map[topo.LinkID]bool, reuse *lightpath, withFXC bool, parent obs.SpanRef) (*lightpath, error) {
 	opt := c.rwaOpt
 	opt.Rate = rate
 	merged := map[topo.LinkID]bool{}
@@ -227,11 +243,16 @@ func (c *Controller) reserveLightpath(id ConnID, a, b topo.NodeID, rate bw.Rate,
 	}
 	opt.Constraints.AvoidLinks = merged
 
+	sp := c.tr.Start(parent, "rwa:search")
 	route, err := rwa.FindRoute(c.plant, a, b, opt)
+	sp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
-	return c.reserveOnRoute(id, route, rate, reuse, withFXC)
+	rsp := c.tr.Start(parent, "reserve")
+	lp, err := c.reserveOnRoute(id, route, rate, reuse, withFXC)
+	rsp.EndErr(err)
+	return lp, err
 }
 
 // reserveOnRoute reserves devices, spectrum and ports for an already chosen
@@ -410,64 +431,75 @@ func segmentNodes(path topo.Path, plan optics.RegenPlan) [][]topo.NodeID {
 // the job completing when light is verified end to end. Durations follow the
 // calibrated latency table; the FXC controllers and the ROADM EMS are
 // separate serial managers, chained in the order the prototype used.
-func (c *Controller) lightpathSetupJob(lp *lightpath) *sim.Job {
+func (c *Controller) lightpathSetupJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
 	path := lp.route.Path
 	a, b := path.Src(), path.Dst()
 	hops := path.Hops()
+	sp := c.tr.Start(parent, "lightpath:setup")
 	seq := sim.NewSequence(c.k).
-		ThenWait(c.jit(c.lat.ControllerOverhead)).
 		Then(func() *sim.Job {
-			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect)})
+			osp := c.tr.Start(sp, "controller-overhead")
+			j := c.k.AfterJob(c.jit(c.lat.ControllerOverhead), nil)
+			j.OnDone(func(err error) { osp.EndErr(err) })
+			return j
 		}).
 		Then(func() *sim.Job {
-			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect)})
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+		}).
+		Then(func() *sim.Job {
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
 		}).
 		Then(func() *sim.Job {
 			cmds := []ems.Command{
-				{Name: "ems-session", Dur: c.jit(c.lat.EMSSession)},
-				{Name: "add-drop:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop)},
-				{Name: "add-drop:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop)},
+				{Name: "ems-session", Dur: c.jit(c.lat.EMSSession), Span: sp},
+				{Name: "add-drop:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
+				{Name: "add-drop:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
 			}
 			for _, n := range path.Intermediate() {
-				cmds = append(cmds, ems.Command{Name: "express:" + string(n), Dur: c.jit(c.lat.ROADMExpress)})
+				cmds = append(cmds, ems.Command{Name: "express:" + string(n), Dur: c.jit(c.lat.ROADMExpress), Span: sp})
 			}
 			for _, rg := range lp.regens {
-				cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Dur: c.jit(c.lat.RegenConfig)})
+				cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Dur: c.jit(c.lat.RegenConfig), Span: sp})
 			}
-			cmds = append(cmds, ems.Command{Name: "laser-tune", Dur: c.jit(c.lat.LaserTune)})
+			cmds = append(cmds, ems.Command{Name: "laser-tune", Dur: c.jit(c.lat.LaserTune), Span: sp})
 			for i := 0; i < hops; i++ {
-				cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Dur: c.jit(c.lat.PowerBalancePerHop)})
+				cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Dur: c.jit(c.lat.PowerBalancePerHop), Span: sp})
 			}
 			cmds = append(cmds,
-				ems.Command{Name: "link-equalize", Dur: c.jit(c.lat.LinkEqualize)},
-				ems.Command{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd)},
+				ems.Command{Name: "link-equalize", Dur: c.jit(c.lat.LinkEqualize), Span: sp},
+				ems.Command{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: sp},
 			)
 			return c.roadmEMS.SubmitBatch(cmds)
 		})
-	return seq.Go()
+	job := seq.Go()
+	job.OnDone(func(err error) { sp.EndErr(err) })
+	return job
 }
 
 // lightpathTeardownJob runs the EMS choreography for releasing a lightpath
 // (paper §3: "around 10 seconds").
-func (c *Controller) lightpathTeardownJob(lp *lightpath) *sim.Job {
+func (c *Controller) lightpathTeardownJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
 	path := lp.route.Path
 	a, b := path.Src(), path.Dst()
-	return sim.NewSequence(c.k).
+	sp := c.tr.Start(parent, "lightpath:teardown")
+	job := sim.NewSequence(c.k).
 		ThenWait(c.jit(c.lat.TeardownController)).
 		Then(func() *sim.Job {
-			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect)})
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
 		}).
 		Then(func() *sim.Job {
-			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect)})
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
 		}).
 		Then(func() *sim.Job {
 			return c.roadmEMS.SubmitBatch([]ems.Command{
-				{Name: "teardown-session", Dur: c.jit(c.lat.TeardownEMSSession)},
-				{Name: "release:" + string(a), Dur: c.jit(c.lat.ROADMRelease)},
-				{Name: "release:" + string(b), Dur: c.jit(c.lat.ROADMRelease)},
+				{Name: "teardown-session", Dur: c.jit(c.lat.TeardownEMSSession), Span: sp},
+				{Name: "release:" + string(a), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+				{Name: "release:" + string(b), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
 			})
 		}).
 		Go()
+	job.OnDone(func(err error) { sp.EndErr(err) })
+	return job
 }
 
 // Disconnect tears a connection down on behalf of its owner. Resources are
@@ -490,16 +522,24 @@ func (c *Controller) Disconnect(cust inventory.Customer, id ConnID) (*sim.Job, e
 	}
 	conn.settleUsage(c.k.Now())
 	conn.State = StateTearingDown
+	// Cancel any open restoration spans before tracing the teardown.
+	conn.phaseSpan.EndOutcome("cancelled")
+	conn.opSpan.EndOutcome("cancelled")
+	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:teardown")
+	conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
 	c.log(id, "teardown", "requested by %s", cust)
 
 	var job *sim.Job
 	switch conn.Layer {
 	case LayerDWDM:
-		job = c.lightpathTeardownJob(conn.working())
+		job = c.lightpathTeardownJob(conn.working(), conn.opSpan)
 	case LayerOTN:
-		job = c.circuitTeardownJob(conn)
+		job = c.circuitTeardownJob(conn, conn.opSpan)
 	}
-	job.OnDone(func(error) {
+	job.OnDone(func(err error) {
+		conn.opSpan.EndErr(err)
+		c.ins.teardowns.Inc()
+		c.ins.teardownSecs.ObserveDuration(job.Elapsed())
 		c.releaseConnResources(conn)
 		conn.endOutage(c.k.Now())
 		conn.State = StateReleased

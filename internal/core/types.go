@@ -11,6 +11,7 @@ import (
 	"griphon/internal/bw"
 	"griphon/internal/fxc"
 	"griphon/internal/inventory"
+	"griphon/internal/obs"
 	"griphon/internal/optics"
 	"griphon/internal/otn"
 	"griphon/internal/rwa"
@@ -167,6 +168,13 @@ type Connection struct {
 	usageGbHours float64
 	meterAt      sim.Time
 	metering     bool
+
+	// opSpan traces the operation currently driving this connection
+	// (op:setup, op:restore, op:teardown); phaseSpan is the open phase
+	// within a restoration (detect, localize, provision). Both are inert
+	// zero values when tracing is off.
+	opSpan    obs.SpanRef
+	phaseSpan obs.SpanRef
 }
 
 // SetupTime returns how long establishment took (Table 2's measurement).

@@ -3,6 +3,7 @@ package ems
 import (
 	"fmt"
 
+	"griphon/internal/obs"
 	"griphon/internal/sim"
 )
 
@@ -17,6 +18,9 @@ type Command struct {
 	// Apply mutates device state at completion; a nil Apply is pure
 	// latency. An Apply error fails the command's job.
 	Apply func() error
+	// Span is the parent trace span the command executes under (the
+	// controller operation that submitted it). The zero SpanRef is fine.
+	Span obs.SpanRef
 }
 
 // Manager is one vendor EMS (or element controller): a strictly serial
@@ -31,6 +35,7 @@ type Manager struct {
 	queue   []*queued
 	served  uint64
 	busyFor sim.Duration
+	tracer  *obs.Tracer
 
 	// Fault injection: failNext commands (counting from the next one to
 	// execute) fail with failErr. Used by tests and failure-injection
@@ -40,8 +45,9 @@ type Manager struct {
 }
 
 type queued struct {
-	cmd Command
-	job *sim.Job
+	cmd       Command
+	job       *sim.Job
+	submitted sim.Time
 }
 
 // NewManager returns an idle EMS with the given display name.
@@ -51,6 +57,11 @@ func NewManager(name string, k *sim.Kernel) *Manager {
 
 // Name returns the EMS's display name.
 func (m *Manager) Name() string { return m.name }
+
+// SetTracer attaches the observability plane: each executed command gets a
+// span on this manager's track, recording its queue wait and outcome. A nil
+// tracer (the default) disables tracing at zero cost.
+func (m *Manager) SetTracer(t *obs.Tracer) { m.tracer = t }
 
 // QueueLen returns the number of commands waiting (not counting the one in
 // flight).
@@ -84,7 +95,7 @@ func (m *Manager) Submit(cmd Command) *sim.Job {
 	if cmd.Dur < 0 {
 		return m.k.CompletedJob(fmt.Errorf("ems: %s: negative duration for %q", m.name, cmd.Name))
 	}
-	q := &queued{cmd: cmd, job: m.k.NewJob()}
+	q := &queued{cmd: cmd, job: m.k.NewJob(), submitted: m.k.Now()}
 	m.queue = append(m.queue, q)
 	if !m.busy {
 		m.runNext()
@@ -115,6 +126,8 @@ func (m *Manager) runNext() {
 	q := m.queue[0]
 	m.queue = m.queue[1:]
 	m.busyFor += q.cmd.Dur
+	sp := m.tracer.StartTrack(q.cmd.Span, q.cmd.Name, m.name)
+	sp.SetWait(m.k.Now().Sub(q.submitted))
 	m.k.After(q.cmd.Dur, func() {
 		var err error
 		if m.failNext > 0 {
@@ -127,6 +140,7 @@ func (m *Manager) runNext() {
 			err = q.cmd.Apply()
 		}
 		m.served++
+		sp.EndErr(err)
 		q.job.Complete(err)
 		m.runNext()
 	})

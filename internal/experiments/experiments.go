@@ -78,6 +78,7 @@ var All = []Spec{
 	{ID: "rwa-ablation", Paper: "ablation: wavelength assignment policies", Run: RWAAblation},
 	{ID: "planning", Paper: "§4 resource planning: Erlang-B pool sizing, validated by simulation", Run: Planning},
 	{ID: "defrag", Paper: "§4 extension: spectrum defragmentation after churn", Run: Defrag},
+	{ID: "trace", Paper: "extension: restoration timeline rebuilt from the span recorder", Run: Trace},
 	{ID: "scale", Paper: "§1 carrier scale: 64-node grid, a month of churn + failure storm", Run: Scale},
 }
 

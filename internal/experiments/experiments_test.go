@@ -316,6 +316,39 @@ func TestDefragPacksSpectrum(t *testing.T) {
 	}
 }
 
+// TestTraceTimeline is the tracing subsystem's acceptance check: the
+// restoration phases reconstructed from the trace must tile the outage, so
+// their durations sum (exactly — one virtual clock, no rounding) to both the
+// op:restore span and the end-to-end restoration latency the connection
+// record reports.
+func TestTraceTimeline(t *testing.T) {
+	res, err := Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Values["restore_total_s"]
+	sum := res.Values["phase_sum_s"]
+	outage := res.Values["outage_s"]
+	if total <= 0 {
+		t.Fatalf("op:restore duration = %v s", total)
+	}
+	const eps = 1e-9 // one virtual nanosecond
+	if diff := sum - total; diff > eps || diff < -eps {
+		t.Errorf("phases sum to %v s but op:restore spans %v s", sum, total)
+	}
+	if diff := total - outage; diff > eps || diff < -eps {
+		t.Errorf("op:restore spans %v s but the connection saw %v s of outage", total, outage)
+	}
+	// DWDM restoration lands in the minutes range (localization + full
+	// lightpath re-setup), as the restoration experiment also reports.
+	if total < 30 || total > 600 {
+		t.Errorf("restoration latency = %v s, want minutes", total)
+	}
+	if res.Values["spans"] < 20 {
+		t.Errorf("spans = %v, want a full setup+restore choreography", res.Values["spans"])
+	}
+}
+
 func TestScaleShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale experiment in -short mode")
