@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench profile reproduce examples daemon trace clean
+.PHONY: all build test vet lint cover bench profile reproduce examples daemon trace clean
 
 all: build test
 
@@ -14,6 +14,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-invariant static analysis (DESIGN.md §9): wallclock, spanpair,
+# txnrollback, emslayer, metricname, suppress. Also runnable as a vet tool:
+#   go vet -vettool=$$(go env GOPATH)/bin/griphon-lint ./...
+lint:
+	$(GO) run ./cmd/griphon-lint ./...
+	$(GO) test ./internal/analysis/...
 
 cover:
 	$(GO) test -cover ./...

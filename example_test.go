@@ -17,7 +17,7 @@ func Example() {
 	}
 	fmt.Println("route:", conn.Route())
 	fmt.Println("setup in about a minute:", conn.SetupTime().Round(10*time.Second))
-	net.Disconnect("acme-cloud", conn.ID) //nolint:errcheck // example
+	net.Disconnect("acme-cloud", conn.ID) //lint:allow errcheck example
 	// Output:
 	// route: I-IV
 	// setup in about a minute: 1m0s
@@ -45,7 +45,7 @@ func ExampleNetwork_Connect_composite() {
 func ExampleNetwork_CutFiber() {
 	net, _ := griphon.New(griphon.Testbed(), griphon.WithSeed(7))
 	conn, _ := net.Connect("acme", "DC-A", "DC-C", griphon.Rate10G)
-	net.CutFiber(string(conn.Route().Links[0])) //nolint:errcheck // example
+	net.CutFiber(string(conn.Route().Links[0])) //lint:allow errcheck example
 	net.Drain()
 	fmt.Println("state:", conn.State)
 	fmt.Println("restorations:", conn.Restorations)
@@ -88,11 +88,11 @@ func ExampleNetwork_ScheduleMaintenance() {
 // Building a custom topology.
 func ExampleNewTopology() {
 	tp := griphon.NewTopology()
-	tp.AddPoP("WEST", true)                  //nolint:errcheck // example
-	tp.AddPoP("EAST", true)                  //nolint:errcheck // example
-	tp.AddFiber("W-E", "WEST", "EAST", 1200) //nolint:errcheck // example
-	tp.AddSite("DC-W", "WEST", 40)           //nolint:errcheck // example
-	tp.AddSite("DC-E", "EAST", 40)           //nolint:errcheck // example
+	tp.AddPoP("WEST", true)                  //lint:allow errcheck example
+	tp.AddPoP("EAST", true)                  //lint:allow errcheck example
+	tp.AddFiber("W-E", "WEST", "EAST", 1200) //lint:allow errcheck example
+	tp.AddSite("DC-W", "WEST", 40)           //lint:allow errcheck example
+	tp.AddSite("DC-E", "EAST", 40)           //lint:allow errcheck example
 	fmt.Println(tp.Validate())
 	fmt.Println(tp.PoPs())
 	// Output:

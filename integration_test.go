@@ -298,7 +298,7 @@ func TestIntegrationDeterministicReplay(t *testing.T) {
 				t.Fatalf("connect %d: %v", i, err)
 			}
 		}
-		net.CutFiber("SEA-CHI") //nolint:errcheck // exists
+		net.CutFiber("SEA-CHI") //lint:allow errcheck exists
 		net.Drain()
 		var sig string
 		for _, e := range net.Events() {

@@ -1,0 +1,65 @@
+package analysis
+
+import "testing"
+
+func TestNormalizePkgPath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"griphon/internal/sim", "griphon/internal/sim"},
+		{"griphon/internal/sim [griphon/internal/sim.test]", "griphon/internal/sim"},
+		{"griphon/internal/sim_test", "griphon/internal/sim"},
+		{"griphon/internal/api_test [griphon/internal/api.test]", "griphon/internal/api"},
+	}
+	for _, c := range cases {
+		if got := NormalizePkgPath(c.in); got != c.want {
+			t.Errorf("NormalizePkgPath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPathIsOrUnder(t *testing.T) {
+	cases := []struct {
+		path, root string
+		want       bool
+	}{
+		{"griphon/internal/sim", "griphon/internal/sim", true},
+		{"griphon/internal/sim/fixture", "griphon/internal/sim", true},
+		{"griphon/internal/sim [griphon/internal/sim.test]", "griphon/internal/sim", true},
+		{"griphon/internal/simulator", "griphon/internal/sim", false},
+		{"griphon/internal/core", "griphon/internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := PathIsOrUnder(c.path, c.root); got != c.want {
+			t.Errorf("PathIsOrUnder(%q, %q) = %v, want %v", c.path, c.root, got, c.want)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text             string
+		analyzer, reason string
+		ok               bool
+	}{
+		{"//lint:allow errcheck best effort", "errcheck", "best effort", true},
+		{"//lint:allow errcheck", "errcheck", "", true},
+		{"//lint:allow", "", "", true},
+		{"//nolint:errcheck", "", "", false},
+		{"// ordinary comment", "", "", false},
+	}
+	for _, c := range cases {
+		an, reason, ok := parseAllow(c.text)
+		if an != c.analyzer || reason != c.reason || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, an, reason, ok, c.analyzer, c.reason, c.ok)
+		}
+	}
+}
+
+func TestKnownSuppressTargetsCoversAllAnalyzers(t *testing.T) {
+	known := KnownSuppressTargets()
+	for _, a := range All() {
+		if !known[a.Name] {
+			t.Errorf("KnownSuppressTargets is missing analyzer %q", a.Name)
+		}
+	}
+}

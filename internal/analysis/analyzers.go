@@ -1,0 +1,23 @@
+package analysis
+
+// All returns the full griphon-lint suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Emslayer,
+		Metricname,
+		Spanpair,
+		Suppress,
+		Txnrollback,
+		Wallclock,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

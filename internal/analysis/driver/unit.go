@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"griphon/internal/analysis"
+)
+
+// VetConfig mirrors the JSON configuration cmd/go writes for each package
+// when a vet tool runs under `go vet -vettool=...` (cmd/go/internal/work's
+// vetConfig). Field names must match exactly.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the suite in unitchecker mode: one package described by a
+// vet.cfg file, export data supplied by the go command. It returns the
+// process exit code: 0 clean, 1 on tool failure, 2 when diagnostics were
+// reported (go vet treats any non-zero exit as a failed check).
+func RunUnit(w io.Writer, cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "griphon-lint: %v\n", err)
+		return 1
+	}
+	// The go command expects the facts ("vetx") output to exist after a
+	// successful run so it can cache and replay it for dependents. The
+	// suite's analyzers are all package-local — no facts — so an empty
+	// file is the correct output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(w, "griphon-lint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	l := &Loader{Fset: token.NewFileSet(), index: map[string]*listPkg{}}
+	for path, exportFile := range cfg.PackageFile {
+		l.index[path] = &listPkg{ImportPath: path, Export: exportFile}
+	}
+	pkg, err := l.CheckFiles(analysis.NormalizePkgPath(cfg.ImportPath), cfg.GoFiles, cfg.ImportMap)
+	if err != nil || len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		if err == nil {
+			err = pkg.TypeErrors[0]
+		}
+		fmt.Fprintf(w, "griphon-lint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := Analyze(l.Fset, pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "griphon-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s\n", d.Position, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return &cfg, nil
+}

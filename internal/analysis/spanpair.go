@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Spanpair enforces the tracer contract: a span obtained from
+// (*obs.Tracer).Start or StartTrack must be ended — End, EndErr or
+// EndOutcome — on every path out of the function that started it. An open
+// span is not just a cosmetic leak: TestTraceTimeline proves restoration
+// phases tile op:restore exactly, and the Chrome-trace exporter reports open
+// spans as "open" slices stretching to the end of the run, which corrupts
+// the per-step latency ladder the paper's Table 2 is reproduced from.
+//
+// The check is lexical, not a full CFG analysis. A span variable is
+// considered safe when any of the following holds:
+//
+//   - a defer ends it (directly or via a deferred closure);
+//   - it is captured by a function literal that ends it (the async pattern:
+//     job.OnDone(func(err error) { sp.EndErr(err) }));
+//   - it escapes the function — returned, stored in a field or composite
+//     literal, reassigned, or handed to another function — in which case
+//     ownership moved and the callee/holder is responsible;
+//   - otherwise, every lexical exit of the variable's scope (each return or
+//     break/continue/goto after the Start, and falling off the end of the
+//     scope block) must be preceded by an End call in a block that encloses
+//     that exit.
+var Spanpair = &Analyzer{
+	Name: "spanpair",
+	Doc: "a span returned by obs.Tracer Start/StartTrack must be ended on " +
+		"all paths (defer, capturing closure, or an End before every exit)",
+	Run: runSpanpair,
+}
+
+var spanEndMethods = map[string]bool{
+	"End":        true,
+	"EndErr":     true,
+	"EndOutcome": true,
+}
+
+func runSpanpair(pass *Pass) error {
+	if PathIsOrUnder(pass.Pkg.Path(), obsPkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanFunc(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					checkSpanFunc(pass, fn.Type, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanDecl is one `sp := tracer.Start(...)` site in the function under
+// check, with the statement and block it belongs to.
+type spanDecl struct {
+	obj   types.Object
+	ident *ast.Ident
+	stmt  ast.Stmt
+}
+
+func checkSpanFunc(pass *Pass, ftyp *ast.FuncType, body *ast.BlockStmt) {
+	decls := spanDeclsShallow(pass, body)
+	if len(decls) == 0 {
+		return
+	}
+	parents := buildParents(body)
+	for _, d := range decls {
+		checkSpanDecl(pass, ftyp, body, parents, d)
+	}
+}
+
+// spanDeclsShallow finds span declarations directly in this function,
+// skipping nested function literals (they are checked on their own visit).
+func spanDeclsShallow(pass *Pass, body *ast.BlockStmt) []spanDecl {
+	var out []spanDecl
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if !methodOn(fn, obsPkg, "Tracer", "Start") &&
+			!methodOn(fn, obsPkg, "Tracer", "StartTrack") {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		out = append(out, spanDecl{obj: obj, ident: id, stmt: as})
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+// checkSpanDecl gathers the evidence for one span variable and reports if
+// some exit of its scope is uncovered.
+func checkSpanDecl(pass *Pass, ftyp *ast.FuncType, body *ast.BlockStmt, parents map[ast.Node]ast.Node, d spanDecl) {
+	var endCalls []ast.Node // plain End calls in this function's own body
+	safe := false           // defer / capturing closure / escape
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if safe {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != d.obj {
+			return true
+		}
+		use := classifySpanUse(pass, parents, id)
+		switch use {
+		case useEnd:
+			endCalls = append(endCalls, enclosingCall(parents, id))
+		case useDeferEnd, useClosureEnd, useEscape:
+			safe = true
+		}
+		return true
+	})
+	if safe {
+		return
+	}
+
+	declBlock := blockOf(parents, d.stmt)
+	if declBlock == nil {
+		declBlock = body
+	}
+	for _, exit := range scopeExits(ftyp, body, declBlock, d.stmt) {
+		if exitCovered(parents, endCalls, exit) {
+			continue
+		}
+		pass.Reportf(d.ident.Pos(),
+			"span %s from Tracer.%s is not ended on every path: exit at %s "+
+				"has no preceding End/EndErr/EndOutcome (defer the End, end "+
+				"it in the completion callback, or end it before this exit)",
+			d.ident.Name, startName(pass, d.stmt), pass.Fset.Position(exit.pos))
+		return
+	}
+}
+
+func startName(pass *Pass, stmt ast.Stmt) string {
+	as := stmt.(*ast.AssignStmt)
+	if fn := calleeFunc(pass.TypesInfo, as.Rhs[0].(*ast.CallExpr)); fn != nil {
+		return fn.Name()
+	}
+	return "Start"
+}
+
+type spanUse int
+
+const (
+	useOther spanUse = iota
+	useEnd
+	useDeferEnd
+	useClosureEnd
+	useEscape
+)
+
+// classifySpanUse decides what one identifier occurrence of the span
+// variable means for the analysis.
+func classifySpanUse(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) spanUse {
+	// sp.End(...)? — the parent chain is Ident <- SelectorExpr <- CallExpr.
+	if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+			if spanEndMethods[sel.Sel.Name] {
+				if underDefer(parents, call) {
+					return useDeferEnd
+				}
+				if underFuncLit(parents, call) {
+					return useClosureEnd
+				}
+				return useEnd
+			}
+			// sp.SetConn(...), sp.Active() — neutral method call.
+			return useOther
+		}
+		// Selector not called (method value `sp.End` passed around): the
+		// receiver escaped with it.
+		if spanEndMethods[sel.Sel.Name] {
+			return useEscape
+		}
+		return useOther
+	}
+	if underFuncLit(parents, id) {
+		// Captured by a closure that never ends it: the closure may stash
+		// it anywhere — treat as escaped rather than guess.
+		return useEscape
+	}
+	// Walk outward to see where the value flows.
+	for n := parents[id]; n != nil; n = parents[n] {
+		switch p := n.(type) {
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+			return useEscape
+		case *ast.AssignStmt:
+			for _, r := range p.Rhs {
+				if containsNode(r, id) {
+					return useEscape
+				}
+			}
+			return useOther
+		case *ast.CallExpr:
+			// An argument position (not the callee) hands the span to
+			// another function — including tracer.Start(sp, ...) child
+			// spans; conservatively the holder owns ending it.
+			if !containsNode(p.Fun, id) {
+				return useEscape
+			}
+			return useOther
+		case ast.Stmt:
+			return useOther
+		}
+	}
+	return useOther
+}
+
+// exit is one lexical way out of the span variable's scope.
+type exitPoint struct {
+	node ast.Node
+	pos  token.Pos
+}
+
+// scopeExits enumerates the lexical exits of the block the span is declared
+// in: returns and branch statements after the declaration (outside nested
+// function literals), plus falling off the end of the block. Falling off the
+// end of the function body is only an exit when the function can actually
+// end there (no result list — with results, the compiler already requires a
+// return or panic).
+func scopeExits(ftyp *ast.FuncType, body *ast.BlockStmt, declBlock ast.Node, declStmt ast.Stmt) []exitPoint {
+	var exits []exitPoint
+	ast.Inspect(declBlock, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if s.Pos() > declStmt.End() {
+				exits = append(exits, exitPoint{s, s.Pos()})
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.FALLTHROUGH && s.Pos() > declStmt.End() {
+				exits = append(exits, exitPoint{s, s.Pos()})
+			}
+		}
+		return true
+	})
+	end := declBlock.End()
+	if bs, ok := declBlock.(*ast.BlockStmt); ok {
+		end = bs.Rbrace
+	}
+	hasResults := ftyp != nil && ftyp.Results != nil && len(ftyp.Results.List) > 0
+	if !(hasResults && declBlock == ast.Node(body)) {
+		exits = append(exits, exitPoint{declBlock, end})
+	}
+	return exits
+}
+
+// exitCovered reports whether some recorded End call lexically dominates the
+// exit: the call appears before it, in a block that encloses it.
+func exitCovered(parents map[ast.Node]ast.Node, endCalls []ast.Node, e exitPoint) bool {
+	for _, c := range endCalls {
+		if c == nil || c.Pos() >= e.pos {
+			continue
+		}
+		cb := blockOf(parents, c)
+		for n := e.node; n != nil; n = parents[n] {
+			if n == cb {
+				return true
+			}
+		}
+		// The virtual end-of-block exit carries the block itself as node.
+		if cb == e.node {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small tree utilities -------------------------------------------------
+
+// buildParents records each node's parent within root.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// blockOf returns the nearest enclosing statement-list node (block or
+// switch/select clause).
+func blockOf(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return p
+		}
+	}
+	return nil
+}
+
+// enclosingCall returns the CallExpr the identifier's method call belongs to.
+func enclosingCall(parents map[ast.Node]ast.Node, id *ast.Ident) ast.Node {
+	sel, ok := parents[id].(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	call, _ := parents[sel].(*ast.CallExpr)
+	return call
+}
+
+// underDefer reports whether n sits directly under a defer statement
+// (without an intervening function literal that would defer the End to the
+// closure's own execution).
+func underDefer(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			// defer func() { sp.End() }() — the DeferStmt is above the
+			// FuncLit; keep climbing, a plain closure is handled by the
+			// caller as useClosureEnd which is just as safe.
+			continue
+		}
+	}
+	return false
+}
+
+// underFuncLit reports whether n is inside a function literal nested in the
+// function under check.
+func underFuncLit(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"griphon/internal/analysis"
+	"griphon/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over at least one flagging and one non-flagging fixture.
+// The package path a fixture is checked under is part of the test: it is how
+// the path-scoped exemptions (sim for wallclock, core for emslayer and
+// txnrollback, obs for metricname) get exercised from both sides.
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/flag", "example/fixture")
+	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/clean", "example/fixture")
+	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/sim", "griphon/internal/sim/fixture")
+}
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, analysis.Spanpair, "testdata/spanpair/flag", "example/fixture")
+	analysistest.Run(t, analysis.Spanpair, "testdata/spanpair/clean", "example/fixture")
+}
+
+func TestTxnrollback(t *testing.T) {
+	analysistest.Run(t, analysis.Txnrollback, "testdata/txnrollback/flag", "griphon/internal/core")
+	analysistest.Run(t, analysis.Txnrollback, "testdata/txnrollback/clean", "griphon/internal/core")
+}
+
+func TestEmslayer(t *testing.T) {
+	analysistest.Run(t, analysis.Emslayer, "testdata/emslayer/flag", "example/fixture")
+	analysistest.Run(t, analysis.Emslayer, "testdata/emslayer/clean", "griphon/internal/core/fixture")
+}
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, analysis.Metricname, "testdata/metricname/flag", "example/fixture")
+	analysistest.Run(t, analysis.Metricname, "testdata/metricname/clean", "example/fixture")
+	analysistest.Run(t, analysis.Metricname, "testdata/metricname/obspkg", "griphon/internal/obs/fixture")
+}
+
+func TestSuppress(t *testing.T) {
+	analysistest.Run(t, analysis.Suppress, "testdata/suppress/flag", "example/fixture")
+	analysistest.Run(t, analysis.Suppress, "testdata/suppress/clean", "example/fixture")
+}

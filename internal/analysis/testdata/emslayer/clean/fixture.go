@@ -1,0 +1,13 @@
+package fixture
+
+import (
+	"griphon/internal/ems"
+	"griphon/internal/sim"
+)
+
+// This fixture is checked under griphon/internal/core/..., where owning EMS
+// sessions and enqueuing commands is exactly the job.
+func controller(k *sim.Kernel) {
+	m := ems.NewManager("roadm-1", k)
+	m.Submit(ems.Command{Name: "crs-create"})
+}

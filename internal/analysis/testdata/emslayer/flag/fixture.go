@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"griphon/internal/ems" // want `must not import griphon/internal/ems`
+	"griphon/internal/sim"
+)
+
+// rogue drives the management plane from outside internal/core: every touch
+// point is a boundary violation.
+func rogue(k *sim.Kernel, m *ems.Manager) {
+	cmd := ems.Command{Name: "crs-create"} // want `constructs ems\.Command`
+	m.Submit(cmd)                          // want `calls \(\*ems\.Manager\)\.Submit`
+	m.SubmitBatch(nil)                     // want `calls \(\*ems\.Manager\)\.SubmitBatch`
+	_ = ems.NewManager("roadm-9", k)       // want `constructs an ems\.Manager`
+}

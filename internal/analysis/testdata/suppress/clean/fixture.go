@@ -1,0 +1,8 @@
+package fixture
+
+func emit() error { return nil }
+
+func telemetry() {
+	//lint:allow errcheck audit write is best-effort by design
+	_ = emit()
+}

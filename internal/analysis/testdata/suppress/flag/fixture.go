@@ -1,0 +1,20 @@
+package fixture
+
+func emit() error { return nil }
+
+func telemetry() {
+	/* want `bare nolint suppression` */ //nolint:errcheck
+	_ = emit()
+
+	/* want `bare nolint suppression` */ // nolint: best effort
+	_ = emit()
+
+	/* want `lint:allow names unknown analyzer "deadlock"` */ //lint:allow deadlock held across both pools
+	_ = emit()
+
+	/* want `lint:allow errcheck needs a reason` */ //lint:allow errcheck
+	_ = emit()
+
+	/* want `needs an analyzer and a reason` */ //lint:allow
+	_ = emit()
+}

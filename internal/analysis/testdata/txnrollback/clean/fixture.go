@@ -1,0 +1,56 @@
+package fixture
+
+import "griphon/internal/inventory"
+
+type pool struct{ free []int }
+
+func (p *pool) Acquire() (int, error) {
+	if len(p.free) == 0 {
+		return 0, errExhausted
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return id, nil
+}
+
+func (p *pool) Release(id int) { p.free = append(p.free, id) }
+
+type poolError string
+
+func (e poolError) Error() string { return string(e) }
+
+const errExhausted = poolError("pool exhausted")
+
+// reserveProperly threads a live Txn and registers the undo.
+func reserveProperly(t *inventory.Txn, p *pool) (int, error) {
+	return inventory.Reserve(t, p.Acquire, p.Release)
+}
+
+// txnCoordinated drives a whole multi-step setup through one transaction;
+// rollback, not hand-sequenced releases, undoes partial work.
+func txnCoordinated(p *pool) error {
+	t := inventory.NewTxn()
+	id, err := inventory.Reserve(t, p.Acquire, p.Release)
+	if err != nil {
+		t.Rollback()
+		return err
+	}
+	if err := push(id); err != nil {
+		t.Rollback()
+		return err
+	}
+	t.Commit()
+	return nil
+}
+
+// coordinated has the Txn in play, so a direct error-path Release is taken
+// to be deliberate coordination with the transaction.
+func coordinated(t *inventory.Txn, p *pool, id int) error {
+	if err := push(id); err != nil {
+		p.Release(id)
+		return err
+	}
+	return t.Do(func() error { return nil }, func() { p.Release(id) })
+}
+
+func push(int) error { return nil }

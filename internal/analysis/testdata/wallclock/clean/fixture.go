@@ -1,0 +1,21 @@
+package fixture
+
+import "time"
+
+// Duration arithmetic and the unit constants are fine: sim.Duration is an
+// alias of time.Duration precisely so latencies read naturally. Only reading
+// the clock is banned.
+const pollInterval = 250 * time.Millisecond
+
+func totalLatency(ds []time.Duration) time.Duration {
+	total := pollInterval
+	for _, d := range ds {
+		total += d
+	}
+	return total
+}
+
+func operatorStopwatch() time.Time {
+	//lint:allow wallclock operator-facing stopwatch, measured outside the simulation
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand outside griphon/internal/sim`
+	"time"
+)
+
+// wall samples the host clock three ways; every one of them makes a run
+// unreplayable.
+func wall() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	_ = rand.Int()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}

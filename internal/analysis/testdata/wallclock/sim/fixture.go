@@ -1,0 +1,8 @@
+package fixture
+
+import "time"
+
+// This fixture is checked under griphon/internal/sim/..., the one subtree
+// where the wall clock is legal: the virtual-time kernel (and its stopwatch
+// helpers) must be able to read the host clock to exist at all.
+func hostNow() time.Time { return time.Now() }

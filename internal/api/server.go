@@ -67,7 +67,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		msg, _ := json.Marshal(ErrorJSON{Error: fmt.Sprintf("encoding response: %s", err)})
-		w.Write(msg) //nolint:errcheck // best effort on the error path
+		w.Write(msg) //lint:allow errcheck best effort on the error path
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

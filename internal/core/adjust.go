@@ -61,7 +61,7 @@ func (c *Controller) AdjustRate(cust inventory.Customer, id ConnID, newRate bw.R
 		}
 		if err := txn.Do(
 			func() error { return c.ledger.Admit(cust, delta) },
-			func() { c.ledger.Discharge(cust, delta) }, //nolint:errcheck // rollback
+			func() { c.ledger.Discharge(cust, delta) }, //lint:allow errcheck rollback
 		); err != nil {
 			return nil, err
 		}
@@ -88,7 +88,7 @@ func (c *Controller) AdjustRate(cust inventory.Customer, id ConnID, newRate bw.R
 	if delta < 0 {
 		// Shrinks cannot fail admission; settle the books directly.
 		c.releaseAccess(conn.From, conn.To, -delta)
-		c.ledger.Discharge(cust, -delta) //nolint:errcheck // symmetric
+		c.ledger.Discharge(cust, -delta) //lint:allow errcheck symmetric
 	}
 	conn.Rate = newRate
 	txn.Commit()
@@ -110,7 +110,7 @@ func (c *Controller) adjustCircuit(txn *inventory.Txn, conn *Connection, newRate
 			p := p
 			if err := txn.Do(
 				func() error { _, err := p.Reserve(owner, delta); return err },
-				func() { p.ReleaseSlots(owner, delta) }, //nolint:errcheck // rollback
+				func() { p.ReleaseSlots(owner, delta) }, //lint:allow errcheck rollback
 			); err != nil {
 				return nil, fmt.Errorf("core: cannot grow %s on pipe %s: %w", conn.ID, p.ID(), err)
 			}
@@ -120,7 +120,7 @@ func (c *Controller) adjustCircuit(txn *inventory.Txn, conn *Connection, newRate
 			p := p
 			if err := txn.Do(
 				func() error { return p.ReleaseSlots(owner, -delta) },
-				func() { p.Reserve(owner, -delta) }, //nolint:errcheck // rollback
+				func() { p.Reserve(owner, -delta) }, //lint:allow errcheck rollback
 			); err != nil {
 				return nil, err
 			}
@@ -133,7 +133,7 @@ func (c *Controller) adjustCircuit(txn *inventory.Txn, conn *Connection, newRate
 	if len(conn.backup) > 0 {
 		owner := string(conn.ID)
 		for _, p := range conn.backup {
-			p.ReleaseShared(owner) //nolint:errcheck // re-registering below
+			p.ReleaseShared(owner) //lint:allow errcheck re-registering below
 		}
 		if err := otn.ReserveSharedPath(conn.backup, owner, newSlots); err != nil {
 			c.log(conn.ID, "no-backup", "shared-mesh backup lost on resize: %v", err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"griphon/internal/ems"
+	"griphon/internal/inventory"
 	"griphon/internal/obs"
 	"griphon/internal/sim"
 )
@@ -52,13 +53,16 @@ func (c *Controller) retuneDown(conn *Connection) bool {
 			continue
 		}
 		target := free[0]
-		// Reserve the new channel on every link of the segment.
+		// Reserve the new channel on every link of the segment, each link a
+		// transaction step so a partial grab rolls back in LIFO order.
+		txn := inventory.NewTxn()
 		ok := true
-		for j, link := range seg.Links {
-			if err := c.plant.Spectrum(link).Reserve(target, string(conn.ID)); err != nil {
-				for _, undo := range seg.Links[:j] {
-					c.plant.Spectrum(undo).Release(target) //nolint:errcheck // rollback
-				}
+		for _, link := range seg.Links {
+			if err := txn.Do(
+				func() error { return c.plant.Spectrum(link).Reserve(target, string(conn.ID)) },
+				func() { c.plant.Spectrum(link).Release(target) }, //lint:allow errcheck undoing our own reserve
+			); err != nil {
+				txn.Rollback()
 				ok = false
 				break
 			}
@@ -72,16 +76,15 @@ func (c *Controller) retuneDown(conn *Connection) bool {
 		c.roadms.ReleaseSegment(nodes, owner)
 		if err := c.roadms.ConfigureSegment(nodes, seg.Links, target, owner); err != nil {
 			// Restore the old configuration (ports were just freed,
-			// so this cannot fail) and drop the new spectrum.
-			c.roadms.ConfigureSegment(nodes, seg.Links, cur, owner) //nolint:errcheck // restoring freed state
-			for _, link := range seg.Links {
-				c.plant.Spectrum(link).Release(target) //nolint:errcheck // rollback
-			}
+			// so this cannot fail) and let the txn drop the new spectrum.
+			c.roadms.ConfigureSegment(nodes, seg.Links, cur, owner) //lint:allow errcheck restoring freed state
+			txn.Rollback()
 			continue
 		}
+		txn.Commit()
 		// Release the old channel.
 		for _, link := range seg.Links {
-			c.plant.Spectrum(link).Release(cur) //nolint:errcheck // owned
+			c.plant.Spectrum(link).Release(cur) //lint:allow errcheck owned
 		}
 		c.log(conn.ID, "retune", "segment %d channel %d -> %d", i, cur, target)
 		lp.route.Channels[i] = target

@@ -34,7 +34,7 @@ func (c *Controller) CutFiber(link topo.LinkID) error {
 		c.repairing[link] = true
 		crew := c.lat.FiberRepair(c.k.Rand())
 		c.log("", "repair-dispatch", "crew for %s, ETA %v", link, crew)
-		c.k.After(crew, func() { c.RepairFiber(link) }) //nolint:errcheck // best-effort auto repair
+		c.k.After(crew, func() { c.RepairFiber(link) }) //lint:allow errcheck best-effort auto repair
 	}
 	return nil
 }
@@ -192,7 +192,7 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 			if conn.State != StateDown {
 				return
 			}
-			otn.ReleasePath(conn.pipes, string(conn.ID)) //nolint:errcheck // leaving old path
+			otn.ReleasePath(conn.pipes, string(conn.ID)) //lint:allow errcheck leaving old path
 			conn.pipes = conn.backup
 			conn.backup = nil
 			d := c.k.Now().Sub(conn.outageStart)

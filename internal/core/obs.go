@@ -108,7 +108,7 @@ func (c *Controller) initObs() {
 		})
 	r.GaugeFunc("griphon_transponders_in_use", "Transponders allocated across all PoPs.",
 		func() float64 { return float64(c.Snapshot().OTsInUse) })
-	r.GaugeFunc("griphon_transponders_total", "Transponder pool size across all PoPs.",
+	r.GaugeFunc("griphon_transponders_capacity", "Transponder pool size across all PoPs.",
 		func() float64 { return float64(c.Snapshot().OTsTotal) })
 	r.GaugeFunc("griphon_regens_in_use", "Regenerators allocated across all PoPs.",
 		func() float64 { return float64(c.Snapshot().RegensInUse) })
@@ -118,7 +118,7 @@ func (c *Controller) initObs() {
 		func() float64 { return float64(c.Snapshot().SlotsInUse) })
 	r.GaugeFunc("griphon_down_links", "Fiber links currently out of service.",
 		func() float64 { return float64(len(c.plant.DownLinks())) })
-	r.GaugeFunc("griphon_events_total", "Audit-log entries recorded.",
+	r.CounterFunc("griphon_events_total", "Audit-log entries recorded.",
 		func() float64 { return float64(len(c.events)) })
 	r.GaugeFunc("griphon_sim_virtual_seconds", "Virtual time since the simulation epoch.",
 		func() float64 { return c.k.Now().Seconds() })

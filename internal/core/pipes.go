@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"griphon/internal/ems"
+	"griphon/internal/inventory"
 	"griphon/internal/obs"
 	"griphon/internal/otn"
 	"griphon/internal/sim"
@@ -172,11 +173,24 @@ func (c *Controller) buildPipe(a, b topo.NodeID, level otn.Level) *sim.Job {
 		Internal:    true,
 	}
 	out := c.k.NewJob()
-	if err := c.ledger.Admit(CarrierCustomer, rate); err != nil {
+	// The carrier's own admission and claim ride one transaction: a routing
+	// failure below hands both back in LIFO order.
+	adm := inventory.NewTxn()
+	if err := adm.Do(
+		func() error { return c.ledger.Admit(CarrierCustomer, rate) },
+		func() { c.ledger.Discharge(CarrierCustomer, rate) }, //lint:allow errcheck undoing our own admit
+	); err != nil {
 		out.Complete(err)
 		return out
 	}
-	c.ledger.Claim(CarrierCustomer, connKey(carrier.ID)) //nolint:errcheck // fresh ID
+	if err := adm.Do(
+		func() error { return c.ledger.Claim(CarrierCustomer, connKey(carrier.ID)) },
+		func() { c.ledger.Release(CarrierCustomer, connKey(carrier.ID)) }, //lint:allow errcheck undoing our own claim
+	); err != nil {
+		adm.Rollback()
+		out.Complete(err)
+		return out
+	}
 	carrier.opSpan = c.tr.Start(obs.SpanRef{}, "op:pipe-build")
 	carrier.opSpan.SetConn(string(carrier.ID), string(CarrierCustomer), LayerDWDM.String())
 
@@ -185,11 +199,11 @@ func (c *Controller) buildPipe(a, b topo.NodeID, level otn.Level) *sim.Job {
 	lp, err := c.reserveLightpath(carrier.ID, a, b, rate, nil, nil, false, carrier.opSpan)
 	if err != nil {
 		carrier.opSpan.EndErr(err)
-		c.ledger.Discharge(CarrierCustomer, rate)              //nolint:errcheck // undo admit
-		c.ledger.Release(CarrierCustomer, connKey(carrier.ID)) //nolint:errcheck // undo claim
+		adm.Rollback()
 		out.Complete(fmt.Errorf("core: cannot light pipe %s-%s: %w", a, b, err))
 		return out
 	}
+	adm.Commit()
 	carrier.path = lp
 	c.conns[carrier.ID] = carrier
 	c.log(carrier.ID, "request", "carrier pipe wavelength %s->%s %v", a, b, rate)

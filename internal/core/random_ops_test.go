@@ -64,14 +64,14 @@ func runRandomOps(t *testing.T, seed int64, steps int) {
 			i := rng.Intn(len(live))
 			conn := live[i]
 			if conn.State == StateActive || conn.State == StateDown {
-				c.Disconnect("fuzz", conn.ID) //nolint:errcheck // may race with teardown
+				c.Disconnect("fuzz", conn.ID) //lint:allow errcheck may race with teardown
 			}
 			live = append(live[:i], live[i+1:]...)
 		case 5: // adjust a random OTN circuit
 			for _, conn := range live {
 				if conn.Layer == LayerOTN && conn.State == StateActive {
 					target := rates[rng.Intn(2)]          // 1G or 2.5G
-					c.AdjustRate("fuzz", conn.ID, target) //nolint:errcheck // may be blocked
+					c.AdjustRate("fuzz", conn.ID, target) //lint:allow errcheck may be blocked
 					break
 				}
 			}
@@ -79,15 +79,15 @@ func runRandomOps(t *testing.T, seed int64, steps int) {
 			links := c.Graph().Links()
 			l := links[rng.Intn(len(links))]
 			if c.Plant().LinkUp(l.ID) {
-				c.CutFiber(l.ID) //nolint:errcheck // verified up
+				c.CutFiber(l.ID) //lint:allow errcheck verified up
 			}
 		case 7: // roll or regroom a random wavelength
 			for _, conn := range live {
 				if conn.Layer == LayerDWDM && conn.State == StateActive && conn.Protect != OnePlusOne {
 					if rng.Intn(2) == 0 {
-						c.BridgeAndRoll("fuzz", conn.ID, nil) //nolint:errcheck // may lack disjoint path
+						c.BridgeAndRoll("fuzz", conn.ID, nil) //lint:allow errcheck may lack disjoint path
 					} else {
-						c.Regroom("fuzz", conn.ID) //nolint:errcheck // may be optimal already
+						c.Regroom("fuzz", conn.ID) //lint:allow errcheck may be optimal already
 					}
 					break
 				}

@@ -148,11 +148,11 @@ func (c *Controller) startMaintenanceWindow(m *Maintenance, out *sim.Job) {
 	link := m.Link
 	if c.plant.LinkUp(link) {
 		// Anything still on the link takes an unplanned-style hit.
-		c.CutFiber(link) //nolint:errcheck // link verified at scheduling
+		c.CutFiber(link) //lint:allow errcheck link verified at scheduling
 	}
 	c.k.After(m.Window, func() {
 		if !c.plant.LinkUp(link) {
-			c.RepairFiber(link) //nolint:errcheck // symmetric with cut
+			c.RepairFiber(link) //lint:allow errcheck symmetric with cut
 		}
 		m.Finished = true
 		c.log("", "maintenance-done", "link %s returned to service", link)

@@ -120,13 +120,21 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 		}
 	}
 
-	// Admission: quota, then access pipes.
-	if err := c.ledger.Admit(req.Customer, req.Rate); err != nil {
+	// Admission: quota, access pipes and the connection claim accumulate in
+	// one transaction, so any later failure returns them in LIFO order.
+	adm := inventory.NewTxn()
+	if err := adm.Do(
+		func() error { return c.ledger.Admit(req.Customer, req.Rate) },
+		func() { c.ledger.Discharge(req.Customer, req.Rate) }, //lint:allow errcheck undoing our own admit
+	); err != nil {
 		c.ins.blockedAdmission.Inc()
 		return nil, nil, err
 	}
-	if err := c.reserveAccess(siteA, siteB, req.Rate); err != nil {
-		c.ledger.Discharge(req.Customer, req.Rate) //nolint:errcheck // undoing our own admit
+	if err := adm.Do(
+		func() error { return c.reserveAccess(siteA, siteB, req.Rate) },
+		func() { c.releaseAccess(siteA.ID, siteB.ID, req.Rate) },
+	); err != nil {
+		adm.Rollback()
 		c.ins.blockedAdmission.Inc()
 		return nil, nil, err
 	}
@@ -142,7 +150,13 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 		State:       StatePending,
 		RequestedAt: c.k.Now(),
 	}
-	c.ledger.Claim(req.Customer, connKey(conn.ID)) //nolint:errcheck // fresh unique ID
+	if err := adm.Do(
+		func() error { return c.ledger.Claim(req.Customer, connKey(conn.ID)) },
+		func() { c.ledger.Release(req.Customer, connKey(conn.ID)) }, //lint:allow errcheck undoing our own claim
+	); err != nil {
+		adm.Rollback()
+		return nil, nil, err
+	}
 	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:setup")
 	conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), layer.String())
 
@@ -156,11 +170,10 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 	if err != nil {
 		conn.opSpan.EndErr(err)
 		c.ins.blockedRoute.Inc()
-		c.releaseAccess(conn.From, conn.To, conn.Rate)
-		c.ledger.Discharge(req.Customer, req.Rate)       //nolint:errcheck // undoing admit
-		c.ledger.Release(req.Customer, connKey(conn.ID)) //nolint:errcheck // undoing claim
+		adm.Rollback()
 		return nil, nil, err
 	}
+	adm.Commit()
 	c.conns[conn.ID] = conn
 	c.log(conn.ID, "request", "%s %s->%s %v %v %v", conn.Customer, conn.From, conn.To, conn.Rate, conn.Layer, conn.Protect)
 	return conn, job, nil
@@ -270,13 +283,13 @@ func (c *Controller) reserveOnRoute(id ConnID, route rwa.Route, rate bw.Rate, re
 	} else {
 		otA, err := inventory.Reserve(txn,
 			func() (*optics.OT, error) { return c.plant.OTs(a).Alloc(rate) },
-			func(ot *optics.OT) { c.plant.OTs(a).Release(ot) }) //nolint:errcheck // rollback
+			func(ot *optics.OT) { c.plant.OTs(a).Release(ot) }) //lint:allow errcheck rollback
 		if err != nil {
 			return nil, err
 		}
 		otB, err := inventory.Reserve(txn,
 			func() (*optics.OT, error) { return c.plant.OTs(b).Alloc(rate) },
-			func(ot *optics.OT) { c.plant.OTs(b).Release(ot) }) //nolint:errcheck // rollback
+			func(ot *optics.OT) { c.plant.OTs(b).Release(ot) }) //lint:allow errcheck rollback
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +300,7 @@ func (c *Controller) reserveOnRoute(id ConnID, route rwa.Route, rate bw.Rate, re
 		rn := rn
 		rg, err := inventory.Reserve(txn,
 			func() (*optics.Regen, error) { return c.plant.Regens(rn).Alloc(rate) },
-			func(rg *optics.Regen) { c.plant.Regens(rn).Release(rg) }) //nolint:errcheck // rollback
+			func(rg *optics.Regen) { c.plant.Regens(rn).Release(rg) }) //lint:allow errcheck rollback
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +314,7 @@ func (c *Controller) reserveOnRoute(id ConnID, route rwa.Route, rate bw.Rate, re
 			sp := c.plant.Spectrum(link)
 			if err := txn.Do(
 				func() error { return sp.Reserve(ch, string(id)) },
-				func() { sp.Release(ch) }, //nolint:errcheck // rollback
+				func() { sp.Release(ch) }, //lint:allow errcheck rollback
 			); err != nil {
 				return nil, err
 			}
@@ -367,7 +380,7 @@ func (c *Controller) reserveFXCPair(txn *inventory.Txn, node topo.NodeID, id Con
 		return nil
 	}, func() {
 		if pair[0] != "" {
-			sw.Disconnect(pair[0]) //nolint:errcheck // rollback
+			sw.Disconnect(pair[0]) //lint:allow errcheck rollback
 		}
 	})
 	return pair, err
@@ -379,16 +392,16 @@ func (c *Controller) reserveFXCPair(txn *inventory.Txn, node topo.NodeID, id Con
 func (c *Controller) releaseLightpath(id ConnID, lp *lightpath) {
 	c.releaseLightpathMiddle(lp)
 	if lp.ots[0] != nil {
-		c.plant.OTs(lp.ots[0].Node).Release(lp.ots[0]) //nolint:errcheck // owned
+		c.plant.OTs(lp.ots[0].Node).Release(lp.ots[0]) //lint:allow errcheck owned
 	}
 	if lp.ots[1] != nil {
-		c.plant.OTs(lp.ots[1].Node).Release(lp.ots[1]) //nolint:errcheck // owned
+		c.plant.OTs(lp.ots[1].Node).Release(lp.ots[1]) //lint:allow errcheck owned
 	}
 	if lp.portsA[0] != "" {
-		c.fxcs[lp.route.Path.Src()].Disconnect(lp.portsA[0]) //nolint:errcheck // owned
+		c.fxcs[lp.route.Path.Src()].Disconnect(lp.portsA[0]) //lint:allow errcheck owned
 	}
 	if lp.portsB[0] != "" {
-		c.fxcs[lp.route.Path.Dst()].Disconnect(lp.portsB[0]) //nolint:errcheck // owned
+		c.fxcs[lp.route.Path.Dst()].Disconnect(lp.portsB[0]) //lint:allow errcheck owned
 	}
 	_ = id
 }
@@ -399,7 +412,7 @@ func (c *Controller) releaseLightpathMiddle(lp *lightpath) {
 	for i, seg := range lp.route.Plan.Segments {
 		ch := lp.route.Channels[i]
 		for _, link := range seg.Links {
-			c.plant.Spectrum(link).Release(ch) //nolint:errcheck // owned
+			c.plant.Spectrum(link).Release(ch) //lint:allow errcheck owned
 		}
 	}
 	for i, owner := range lp.segOwners {
@@ -408,7 +421,7 @@ func (c *Controller) releaseLightpathMiddle(lp *lightpath) {
 	lp.segOwners = nil
 	lp.segNodes = nil
 	for _, rg := range lp.regens {
-		c.plant.Regens(rg.Node).Release(rg) //nolint:errcheck // owned
+		c.plant.Regens(rg.Node).Release(rg) //lint:allow errcheck owned
 	}
 	lp.regens = nil
 }
@@ -561,20 +574,20 @@ func (c *Controller) releaseConnResources(conn *Connection) {
 		conn.protect = nil
 	}
 	if len(conn.pipes) > 0 {
-		otn.ReleasePath(conn.pipes, string(conn.ID)) //nolint:errcheck // owned
+		otn.ReleasePath(conn.pipes, string(conn.ID)) //lint:allow errcheck owned
 		conn.pipes = nil
 	}
 	if len(conn.backup) > 0 {
 		for _, p := range conn.backup {
-			p.ReleaseShared(string(conn.ID)) //nolint:errcheck // may already be activated
+			p.ReleaseShared(string(conn.ID)) //lint:allow errcheck may already be activated
 		}
 		conn.backup = nil
 	}
 	if !conn.Internal {
 		c.releaseAccess(conn.From, conn.To, conn.Rate)
 	}
-	c.ledger.Discharge(conn.Customer, conn.Rate)      //nolint:errcheck // symmetric with admit
-	c.ledger.Release(conn.Customer, connKey(conn.ID)) //nolint:errcheck // symmetric with claim
+	c.ledger.Discharge(conn.Customer, conn.Rate)      //lint:allow errcheck symmetric with admit
+	c.ledger.Release(conn.Customer, connKey(conn.ID)) //lint:allow errcheck symmetric with claim
 }
 
 // ConnectComposite provisions a >wavelength-granularity service as multiple

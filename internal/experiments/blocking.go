@@ -70,15 +70,15 @@ func bigAccessBackbone() *topo.Graph {
 	src := topo.Backbone()
 	g := topo.New()
 	for _, n := range src.Nodes() {
-		g.AddNode(*n) //nolint:errcheck // copying a valid graph
+		g.AddNode(*n) //lint:allow errcheck copying a valid graph
 	}
 	for _, l := range src.Links() {
-		g.AddLink(*l) //nolint:errcheck // copying a valid graph
+		g.AddLink(*l) //lint:allow errcheck copying a valid graph
 	}
 	for _, s := range src.Sites() {
 		c := *s
 		c.AccessGbps = 4000
-		g.AddSite(c) //nolint:errcheck // copying a valid graph
+		g.AddSite(c) //lint:allow errcheck copying a valid graph
 	}
 	return g
 }
@@ -125,7 +125,7 @@ func blockingRun(seed int64, erlangs float64, holdMean, horizon time.Duration, o
 				}
 				hold := k.Rand().ExpDuration(holdMean)
 				k.After(hold, func() {
-					ctrl.Disconnect(cust, conn.ID) //nolint:errcheck // ends naturally
+					ctrl.Disconnect(cust, conn.ID) //lint:allow errcheck ends naturally
 				})
 			})
 		})

@@ -48,7 +48,7 @@ func Defrag(seed int64) (Result, error) {
 				return
 			}
 			k.After(k.Rand().ExpDuration(12*time.Hour), func() {
-				ctrl.Disconnect("churn", conn.ID) //nolint:errcheck // natural end
+				ctrl.Disconnect("churn", conn.ID) //lint:allow errcheck natural end
 			})
 		})
 	})

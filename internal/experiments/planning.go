@@ -104,15 +104,15 @@ func planValidate(seed int64, g *topo.Graph, demand planner.Demand, pools map[to
 	// Give every site plenty of access so OTs are the tested constraint.
 	big := topo.New()
 	for _, n := range g.Nodes() {
-		big.AddNode(*n) //nolint:errcheck // copying a valid graph
+		big.AddNode(*n) //lint:allow errcheck copying a valid graph
 	}
 	for _, l := range g.Links() {
-		big.AddLink(*l) //nolint:errcheck // copying a valid graph
+		big.AddLink(*l) //lint:allow errcheck copying a valid graph
 	}
 	for _, s := range g.Sites() {
 		c := *s
 		c.AccessGbps = 4000
-		big.AddSite(c) //nolint:errcheck // copying a valid graph
+		big.AddSite(c) //lint:allow errcheck copying a valid graph
 	}
 	ctrl, err := core.New(k, big, cfg)
 	if err != nil {
@@ -140,7 +140,7 @@ func planValidate(seed int64, g *topo.Graph, demand planner.Demand, pools map[to
 					return
 				}
 				k.After(k.Rand().ExpDuration(holdMean), func() {
-					ctrl.Disconnect("csp", conn.ID) //nolint:errcheck // natural end
+					ctrl.Disconnect("csp", conn.ID) //lint:allow errcheck natural end
 				})
 			})
 		})

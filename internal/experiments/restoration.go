@@ -122,7 +122,7 @@ func BridgeRoll(seed int64) (Result, error) {
 	if job.Err() != nil {
 		return Result{}, job.Err()
 	}
-	ctrl.CutFiber(conn.Route().Links[0]) //nolint:errcheck // link exists
+	ctrl.CutFiber(conn.Route().Links[0]) //lint:allow errcheck link exists
 	k.Run()
 	unplanned := conn.TotalOutage
 
@@ -187,10 +187,10 @@ func OTNRestore(seed int64) (Result, error) {
 		if !wave.Route().HasLink(link) {
 			// Make sure the wavelength shares the cut fate; if not,
 			// cut its first link too in the same window.
-			ctrl.CutFiber(wave.Route().Links[0]) //nolint:errcheck // exists
+			ctrl.CutFiber(wave.Route().Links[0]) //lint:allow errcheck exists
 		}
 		if ctrl.Plant().LinkUp(link) {
-			ctrl.CutFiber(link) //nolint:errcheck // exists
+			ctrl.CutFiber(link) //lint:allow errcheck exists
 		}
 		k.Run()
 		otnOutage.AddDuration(circuit.TotalOutage)

@@ -30,7 +30,7 @@ func metricIndex(points []obs.MetricPoint) map[string]obs.MetricPoint {
 func Scale(seed int64) (Result, error) {
 	res := Result{ID: "scale", Paper: "§1 carrier scale (extension)"}
 
-	start := time.Now()
+	sw := sim.NewStopwatch()
 	k := sim.NewKernel(seed)
 	g, err := topo.Grid(8, 8, 300)
 	if err != nil {
@@ -64,7 +64,7 @@ func Scale(seed int64) (Result, error) {
 				return
 			}
 			k.After(k.Rand().ExpDuration(8*time.Hour), func() {
-				ctrl.Disconnect("csp", conn.ID) //nolint:errcheck // natural end
+				ctrl.Disconnect("csp", conn.ID) //lint:allow errcheck natural end
 			})
 		})
 	})
@@ -74,12 +74,12 @@ func Scale(seed int64) (Result, error) {
 	cuts := []topo.LinkID{"G0000-G0001", "G0607-G0707", "G0700-G0701"}
 	k.At(sim.Time(15*24*time.Hour), func() {
 		for _, l := range cuts {
-			ctrl.CutFiber(l) //nolint:errcheck // exists in an 8x8 grid
+			ctrl.CutFiber(l) //lint:allow errcheck exists in an 8x8 grid
 		}
 	})
 	k.Run()
 
-	wall := time.Since(start)
+	wall := sw.Elapsed()
 	snap := ctrl.Snapshot()
 	// Every tally below comes from the controller's own instrument registry
 	// — the same numbers GET /api/v1/metrics serves — instead of ad-hoc
@@ -107,6 +107,7 @@ func Scale(seed int64) (Result, error) {
 	tb.Row("connections stranded at end", snap.Down+snap.Restoring)
 	tb.Row("EMS commands executed", int(emsCmds))
 	tb.Row("simulated events", int(k.Processed()))
+	tb.Row("simulated time", k.Now().String())
 	tb.Row("wall time", wall.Round(time.Millisecond).String())
 	tb.Row("events/sec (wall)", float64(k.Processed())/wall.Seconds())
 	res.Tables = append(res.Tables, tb)

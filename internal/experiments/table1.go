@@ -137,8 +137,8 @@ func measureMaintenance(seed int64) (rollHit, windowHit time.Duration, err error
 	// Without a disjoint path (today's manual handling hits traffic for
 	// the window).
 	g := topo.New()
-	g.AddNode(topo.Node{ID: "A", HasOTN: true}) //nolint:errcheck // fixed builder
-	g.AddNode(topo.Node{ID: "B", HasOTN: true}) //nolint:errcheck // fixed builder
+	g.AddNode(topo.Node{ID: "A", HasOTN: true}) //lint:allow errcheck fixed builder
+	g.AddNode(topo.Node{ID: "B", HasOTN: true}) //lint:allow errcheck fixed builder
 	g.AddLink(topo.Link{ID: "A-B", A: "A", B: "B", KM: 100})
 	g.AddSite(topo.Site{ID: "S1", Home: "A", AccessGbps: 40})
 	g.AddSite(topo.Site{ID: "S2", Home: "B", AccessGbps: 40})

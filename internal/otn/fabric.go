@@ -191,7 +191,7 @@ func ReservePath(pipes []*Pipe, owner string, n int) error {
 	for i, p := range pipes {
 		if _, err := p.Reserve(owner, n); err != nil {
 			for _, q := range pipes[:i] {
-				q.ReleaseOwner(owner) //nolint:errcheck // rollback of our own reservation
+				q.ReleaseOwner(owner) //lint:allow errcheck rollback of our own reservation
 			}
 			return err
 		}
@@ -218,7 +218,7 @@ func ReserveSharedPath(pipes []*Pipe, owner string, n int) error {
 	for i, p := range pipes {
 		if err := p.ReserveShared(owner, n); err != nil {
 			for _, q := range pipes[:i] {
-				q.ReleaseShared(owner) //nolint:errcheck // rollback
+				q.ReleaseShared(owner) //lint:allow errcheck rollback
 			}
 			return err
 		}
@@ -236,7 +236,7 @@ func ActivatePath(pipes []*Pipe, owner string) error {
 		if !ok {
 			// Roll back activations done so far, restoring reservations.
 			for j := 0; j < i; j++ {
-				pipes[j].ReleaseOwner(owner) //nolint:errcheck // rollback
+				pipes[j].ReleaseOwner(owner) //lint:allow errcheck rollback
 				pipes[j].ReserveShared(owner, need[j])
 			}
 			return fmt.Errorf("otn: owner %s has no shared reservation on %s", owner, p.id)
@@ -244,7 +244,7 @@ func ActivatePath(pipes []*Pipe, owner string) error {
 		need[i] = n
 		if _, err := p.Activate(owner); err != nil {
 			for j := 0; j < i; j++ {
-				pipes[j].ReleaseOwner(owner) //nolint:errcheck // rollback
+				pipes[j].ReleaseOwner(owner) //lint:allow errcheck rollback
 				pipes[j].ReserveShared(owner, need[j])
 			}
 			return err

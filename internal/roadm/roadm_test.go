@@ -209,7 +209,7 @@ func TestPortAccountingProperty(t *testing.T) {
 					live[owner]++
 				}
 			case 1:
-				n.Express(ch, degs[op%3], degs[(op+1)%3], owner) //nolint:errcheck // may conflict
+				n.Express(ch, degs[op%3], degs[(op+1)%3], owner) //lint:allow errcheck may conflict
 			case 2:
 				n.ReleaseOwner(owner)
 				live[owner] = 0

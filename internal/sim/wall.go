@@ -1,0 +1,23 @@
+package sim
+
+import "time"
+
+// Stopwatch measures real elapsed wall time. It exists because internal/sim
+// is the only package the wallclock analyzer lets read the host clock:
+// everything in the simulation measures virtual time through the Kernel, and
+// the few operator-facing wants for real time — "a simulated month ran in N
+// seconds of wall time" — go through a Stopwatch so the exception stays in
+// one reviewable place.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch starts a wall-clock stopwatch.
+func NewStopwatch() *Stopwatch {
+	return &Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}
