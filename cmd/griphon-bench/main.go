@@ -9,6 +9,7 @@
 //	griphon-bench -seed 7         # different jitter/workload seed
 //	griphon-bench -exp scale -cpuprofile cpu.prof -memprofile mem.prof
 //	griphon-bench -trace trace.json   # record a setup→cut→restore demo trace
+//	griphon-bench -chaos 2000         # chaos soak: N randomized ops under the fault model
 package main
 
 import (
@@ -29,7 +30,21 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := flag.String("trace", "", "record a scripted setup→cut→restore demo and write its Chrome trace to this file")
+	chaos := flag.Int("chaos", 0, "run the chaos soak with this many randomized operations and exit")
 	flag.Parse()
+
+	if *chaos > 0 {
+		res, err := experiments.ChaosN(*seed, *chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if res.Values["audit_findings"] != 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceOut != "" {
 		if err := writeDemoTrace(*traceOut, *seed); err != nil {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"griphon/internal/bw"
+	"griphon/internal/fxc"
+	"griphon/internal/optics"
+	"griphon/internal/otn"
+)
+
+// TestAuditInvariantsDetectsLeaks plants one deliberate leak of each kind
+// directly in the resource layers — behind the controller's back — and checks
+// the auditor names it, then undoes the leak and checks the books balance
+// again. This is the auditor's own regression test: a checker that cannot see
+// a planted leak would give the chaos soak false confidence.
+func TestAuditInvariantsDetectsLeaks(t *testing.T) {
+	k, c := newTestbed(t, 501)
+	mustConnect(t, k, c, Request{Customer: "x", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	pj, err := c.EnsurePipe("I", "III", otn.ODU2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if pj.Err() != nil {
+		t.Fatal(pj.Err())
+	}
+	auditClean(t, c)
+
+	expectFinding := func(kind string) {
+		t.Helper()
+		for _, f := range c.AuditInvariants() {
+			if f.Kind == kind {
+				return
+			}
+		}
+		t.Errorf("planted %s leak not detected; findings: %v", kind, c.AuditInvariants())
+	}
+
+	// 1. A wavelength reserved by nobody the controller knows.
+	sp := c.Plant().Spectrum("I-II")
+	if err := sp.Reserve(optics.Channel(5), "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	expectFinding("spectrum-owner")
+	sp.Release(optics.Channel(5)) //lint:allow errcheck undoing the planted leak
+
+	// 2. A transponder allocated outside any lightpath.
+	ot, err := c.Plant().OTs("II").Alloc(bw.Rate10G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectFinding("ot-count")
+	c.Plant().OTs("II").Release(ot) //lint:allow errcheck undoing the planted leak
+
+	// 3. OTN tributary slots held by a dead owner.
+	pipe := c.Fabric().Pipes()[0]
+	if _, err := pipe.Reserve("ghost", 2); err != nil {
+		t.Fatal(err)
+	}
+	expectFinding("pipe-owner")
+	if _, err := pipe.ReleaseOwner("ghost"); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. An FXC cross-connect with no connection behind it.
+	sw := c.FXC("I")
+	cp, err := sw.FreePort(fxc.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnp, err := sw.FreePort(fxc.Line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Connect(cp, lnp, "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	expectFinding("fxc-owner")
+	sw.Disconnect(cp) //lint:allow errcheck undoing the planted leak
+
+	// 5. A ledger claim whose connection is gone.
+	if err := c.Ledger().Claim("x", "conn:ghost"); err != nil {
+		t.Fatal(err)
+	}
+	expectFinding("ledger-claim")
+	c.Ledger().Release("x", "conn:ghost") //lint:allow errcheck undoing the planted leak
+
+	// Every leak undone: the books balance again.
+	auditClean(t, c)
+}

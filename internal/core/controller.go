@@ -8,6 +8,7 @@ import (
 	"griphon/internal/alarms"
 	"griphon/internal/bw"
 	"griphon/internal/ems"
+	"griphon/internal/faults"
 	"griphon/internal/fxc"
 	"griphon/internal/inventory"
 	"griphon/internal/obs"
@@ -44,6 +45,19 @@ type Config struct {
 	// bank. Default: one port per transponder plus two per regenerator,
 	// so the transponder pool is the binding constraint.
 	AddDropPorts int
+	// Faults, when non-nil, enables the probabilistic EMS fault model
+	// (internal/faults) on every EMS: transient/persistent failures,
+	// latency inflation and per-EMS brownout windows, all driven by the
+	// kernel's seeded random source.
+	Faults *faults.Profile
+	// Retry bounds transient-fault retries of EMS steps. Nil takes
+	// DefaultRetryPolicy; a policy with MaxAttempts 1 disables retries.
+	Retry *RetryPolicy
+	// DegradeToOTN lets a 10G full-wavelength request degrade to a groomed
+	// OTN sub-wavelength circuit when the DWDM layer cannot deliver it —
+	// no route or wavelength at admission, or persistent EMS failures on
+	// every candidate path — instead of hard-blocking.
+	DegradeToOTN bool
 	// Tracer records virtual-time spans around every controller operation
 	// and EMS command. Nil (the default) disables tracing at zero cost.
 	Tracer *obs.Tracer
@@ -80,6 +94,10 @@ type Controller struct {
 	autoRepair bool
 	autoRevert bool
 	repairing  map[topo.LinkID]bool
+
+	retry        RetryPolicy
+	faultModel   *faults.Model
+	degradeToOTN bool
 
 	events []Event
 
@@ -159,11 +177,21 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		repairing:    make(map[topo.LinkID]bool),
 		pipeCarrier:  make(map[otn.PipeID]ConnID),
 		pendingPipes: make(map[string]*sim.Job),
+		degradeToOTN: cfg.DegradeToOTN,
 		tr:           cfg.Tracer,
 		reg:          cfg.Metrics,
 	}
 	if c.reg == nil {
 		c.reg = obs.NewRegistry()
+	}
+	c.retry = DefaultRetryPolicy()
+	if cfg.Retry != nil {
+		c.retry = *cfg.Retry
+	}
+	if cfg.Faults != nil {
+		c.faultModel = faults.NewModel(k, *cfg.Faults)
+		c.roadmEMS.SetFaults(c.faultModel)
+		c.otnEMS.SetFaults(c.faultModel)
 	}
 	c.roadmEMS.SetTracer(c.tr)
 	c.otnEMS.SetTracer(c.tr)
@@ -171,6 +199,9 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		c.fxcs[n.ID] = fxc.Standard(n.ID, nClient, nLine, 16)
 		m := ems.NewManager(fmt.Sprintf("fxc-ctl-%s", n.ID), k)
 		m.SetTracer(c.tr)
+		if c.faultModel != nil {
+			m.SetFaults(c.faultModel)
+		}
 		c.fxcEMS[n.ID] = m
 	}
 	c.initObs()
@@ -202,6 +233,12 @@ func (c *Controller) OTNEMS() *ems.Manager { return c.otnEMS }
 
 // Ledger returns the customer ledger (quotas, isolation).
 func (c *Controller) Ledger() *inventory.Ledger { return c.ledger }
+
+// FaultModel returns the EMS fault model (nil when chaos is disabled).
+func (c *Controller) FaultModel() *faults.Model { return c.faultModel }
+
+// Retry returns the retry policy in force.
+func (c *Controller) Retry() RetryPolicy { return c.retry }
 
 // Latencies returns the EMS latency table in force.
 func (c *Controller) Latencies() ems.Latencies { return c.lat }

@@ -115,6 +115,20 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 	conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
 	c.k.After(c.jit(c.lat.ProtectionSwitch), func() {
 		if conn.State != StateActive && conn.State != StateDown {
+			// Torn down (or released) during the switch window: the
+			// teardown path owns the connection now; do not revive it.
+			return
+		}
+		// The standby leg may itself have been cut during the ~50 ms
+		// window. Switching traffic onto a dead leg and declaring the
+		// connection Active would mask a real outage.
+		if !c.plant.PathUp(target.route.Path) {
+			if conn.State == StateActive {
+				conn.State = StateDown
+				c.log(conn.ID, "down", "both 1+1 legs lost")
+				c.failCarriedPipe(conn)
+			}
+			conn.opSpan.EndOutcome("blocked")
 			return
 		}
 		conn.onProtect = !conn.onProtect

@@ -340,3 +340,69 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+// TestTeardownDuringProtectionSwitch pins the race between a customer
+// disconnect and the ~50 ms 1+1 tail-end switch: the switch completion
+// callback must not flip a connection that left Active/Down in the meantime
+// back to life.
+func TestTeardownDuringProtectionSwitch(t *testing.T) {
+	k, c := newTestbed(t, 36)
+	conn := mustConnect(t, k, c, Request{Customer: "x", From: "DC-A", To: "DC-C", Rate: bw.Rate10G, Protect: OnePlusOne})
+	if err := c.CutFiber(conn.path.route.Path.Links[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-window: the switch is in flight, the connection still reads Active.
+	k.RunFor(10 * time.Millisecond)
+	if _, err := c.Disconnect("x", conn.ID); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(200 * time.Millisecond) // the switch callback fires in here
+	if conn.State == StateActive {
+		t.Fatal("switch callback revived a connection being torn down")
+	}
+	k.Run()
+	if conn.State != StateReleased {
+		t.Errorf("state = %v, want released", conn.State)
+	}
+	for _, f := range c.AuditInvariants() {
+		t.Errorf("audit: %s", f)
+	}
+}
+
+// TestSecondCutDuringProtectionSwitch: the standby leg dies inside the switch
+// window. Completing the switch would put traffic on a dead leg and declare
+// the connection Active while delivering nothing.
+func TestSecondCutDuringProtectionSwitch(t *testing.T) {
+	k, c := newTestbed(t, 37)
+	conn := mustConnect(t, k, c, Request{Customer: "x", From: "DC-A", To: "DC-C", Rate: bw.Rate10G, Protect: OnePlusOne})
+	protectLink := conn.protect.route.Path.Links[0]
+	if err := c.CutFiber(conn.path.route.Path.Links[0]); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(10 * time.Millisecond)
+	// Inside the window, the standby leg goes too.
+	if err := c.CutFiber(protectLink); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(time.Minute)
+	if conn.State == StateActive {
+		t.Fatal("connection Active on a dead protect leg")
+	}
+	if conn.State != StateDown {
+		t.Errorf("state = %v, want down with both legs cut", conn.State)
+	}
+	// Repairing the standby leg revives the connection on it.
+	if err := c.RepairFiber(protectLink); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if conn.State != StateActive {
+		t.Errorf("state after repair = %v, want active", conn.State)
+	}
+	if !conn.onProtect {
+		t.Error("traffic should ride the repaired protect leg")
+	}
+	for _, f := range c.AuditInvariants() {
+		t.Errorf("audit: %s", f)
+	}
+}

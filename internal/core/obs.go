@@ -31,6 +31,9 @@ type instruments struct {
 	cuts             *obs.Counter
 	repairs          *obs.Counter
 	apiEncodeErrs    *obs.Counter
+	emsRetries       *obs.Counter
+	setupRerouted    *obs.Counter
+	setupGroomed     *obs.Counter
 }
 
 // Tracer returns the controller's tracer (nil when tracing is disabled).
@@ -83,6 +86,12 @@ func (c *Controller) initObs() {
 	c.ins.repairs = r.Counter("griphon_fiber_repairs_total", "Fiber repairs completed.")
 	c.ins.apiEncodeErrs = r.Counter("griphon_api_encode_errors_total",
 		"HTTP API responses that failed to encode or write.")
+	c.ins.emsRetries = r.Counter("griphon_ems_retries_total",
+		"EMS steps resubmitted after a transient fault.")
+	c.ins.setupRerouted = r.Counter("griphon_setup_degraded_total",
+		"Setups that fell down the degradation ladder, by mode.", "mode", "reroute")
+	c.ins.setupGroomed = r.Counter("griphon_setup_degraded_total",
+		"Setups that fell down the degradation ladder, by mode.", "mode", "groomed")
 
 	// Live-state gauges, computed at scrape time from the resource database.
 	for _, st := range []State{StatePending, StateActive, StateDown, StateRestoring} {

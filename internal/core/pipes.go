@@ -80,7 +80,10 @@ func (c *Controller) connectCircuit(conn *Connection, a, b topo.NodeID) (*sim.Jo
 			return j
 		}).
 		Then(func() *sim.Job {
-			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(pipes)+1, conn.opSpan))
+			bud := &opBudget{}
+			return c.retrying(conn.opSpan, bud, func() *sim.Job {
+				return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(pipes)+1, conn.opSpan))
+			})
 		})
 
 	job := seq.Go()
@@ -126,10 +129,13 @@ func (c *Controller) circuitProgramCmds(nSwitches int, parent obs.SpanRef) []ems
 // circuitTeardownJob is the (fast, electronic) release choreography for an
 // OTN circuit.
 func (c *Controller) circuitTeardownJob(conn *Connection, parent obs.SpanRef) *sim.Job {
+	bud := &opBudget{}
 	return sim.NewSequence(c.k).
 		ThenWait(c.jit(c.lat.TeardownController)).
 		Then(func() *sim.Job {
-			return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(conn.pipes)+1, parent))
+			return c.retrying(parent, bud, func() *sim.Job {
+				return c.otnEMS.SubmitBatch(c.circuitProgramCmds(len(conn.pipes)+1, parent))
+			})
 		}).
 		Go()
 }

@@ -111,84 +111,11 @@ func runRandomOps(t *testing.T, seed int64, steps int) {
 	checkInvariants(t, c, steps)
 }
 
-// checkInvariants verifies cross-layer resource accounting at one instant.
+// checkInvariants verifies cross-layer resource accounting at one instant,
+// via the controller's own auditor (which the chaos soak also runs).
 func checkInvariants(t *testing.T, c *Controller, step int) {
 	t.Helper()
-	g := c.Graph()
-
-	// 1. Spectrum entries must all be owned by live (non-released)
-	// connections.
-	liveOwner := map[string]bool{}
-	for _, conn := range c.Connections() {
-		if conn.State != StateReleased {
-			liveOwner[string(conn.ID)] = true
-		}
-	}
-	for _, l := range g.Links() {
-		sp := c.Plant().Spectrum(l.ID)
-		for _, ch := range sp.UsedChannels() {
-			if !liveOwner[sp.Owner(ch)] {
-				t.Errorf("step %d: channel %d on %s owned by dead %q", step, ch, l.ID, sp.Owner(ch))
-			}
-		}
-	}
-
-	// 2. OTs in use: exactly two per live lightpath (working + protect
-	// legs count separately). Count expected lightpaths.
-	wantOTs := 0
-	for _, conn := range c.Connections() {
-		if conn.Layer != LayerDWDM || conn.State == StateReleased {
-			continue
-		}
-		wantOTs += 2
-		if conn.Protect == OnePlusOne {
-			wantOTs += 2
-		}
-	}
-	s := c.Snapshot()
-	if s.OTsInUse != wantOTs {
-		t.Errorf("step %d: OTs in use = %d, want %d", step, s.OTsInUse, wantOTs)
-	}
-
-	// 3. ODU slot accounting per pipe never exceeds capacity and matches
-	// live circuits.
-	for _, p := range c.Fabric().Pipes() {
-		if p.UsedSlots()+p.FreeSlots() != p.TotalSlots() {
-			t.Errorf("step %d: pipe %s slot books broken", step, p.ID())
-		}
-	}
-
-	// 4. Access pipes never oversubscribed.
-	for _, site := range g.Sites() {
-		if used := c.AccessUsed(site.ID); used > bw.GbpsOf(site.AccessGbps) || used < 0 {
-			t.Errorf("step %d: site %s access used %v of %vG", step, site.ID, used, site.AccessGbps)
-		}
-	}
-
-	// 5. ROADM add/drop port usage within bounds and consistent with the
-	// layer-wide termination count (2 per segment of each live lightpath).
-	for _, n := range g.Nodes() {
-		node := c.ROADMs().Node(n.ID)
-		if node.AddDropUsed() < 0 || node.AddDropFree() < 0 {
-			t.Errorf("step %d: ROADM %s port accounting negative", step, n.ID)
-		}
-	}
-
-	// 6. Ledger bandwidth equals the sum of live, non-internal rates.
-	var wantBW bw.Rate
-	for _, conn := range c.Connections() {
-		if conn.State != StateReleased && !conn.Internal {
-			wantBW += conn.Rate
-		}
-	}
-	var gotBW bw.Rate
-	for _, cust := range c.Ledger().Customers() {
-		if cust == CarrierCustomer {
-			continue
-		}
-		gotBW += c.Ledger().UsageOf(cust).Bandwidth
-	}
-	if gotBW != wantBW {
-		t.Errorf("step %d: ledger bandwidth %v, want %v", step, gotBW, wantBW)
+	for _, f := range c.AuditInvariants() {
+		t.Errorf("step %d: %s", step, f)
 	}
 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"time"
+
+	"griphon/internal/faults"
+	"griphon/internal/obs"
+	"griphon/internal/sim"
+)
+
+// RetryPolicy bounds how the controller resubmits EMS work after transient
+// faults (vendor timeouts, spurious NACKs — faults.Transient). Persistent
+// faults and plain errors are never retried: resubmitting a rejected
+// configuration wastes the EMS's serial queue, so those propagate to the
+// degradation ladder instead.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per EMS step, first included.
+	// 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; it doubles each
+	// attempt, capped at MaxBackoff.
+	BaseBackoff sim.Duration
+	// MaxBackoff caps a single backoff wait.
+	MaxBackoff sim.Duration
+	// Budget caps the cumulative backoff spent across all steps of one EMS
+	// choreography (a lightpath setup leg, a teardown, a circuit program),
+	// so retries cannot stretch an operation without bound.
+	Budget sim.Duration
+}
+
+// DefaultRetryPolicy is calibrated against the latency table: a setup runs
+// ~60-70 s, so four attempts with 2 s/4 s/8 s backoffs and a 90 s budget keep
+// a retried setup within about double its nominal time.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 2 * time.Second,
+		MaxBackoff:  30 * time.Second,
+		Budget:      90 * time.Second,
+	}
+}
+
+// opBudget accumulates the backoff one operation has spent across its steps.
+type opBudget struct {
+	spent sim.Duration
+}
+
+// retrying runs the step produced by mk and, when it fails with a transient
+// fault, backs off exponentially and resubmits it — up to the policy's
+// attempt and budget bounds. The returned job completes with the final
+// attempt's result. Each wait is traced as a "retry" span under parent and
+// counted in griphon_ems_retries_total.
+//
+// mk must be safe to call repeatedly: the EMS choreographies it wraps are
+// pure-latency command batches (no Apply functions), so resubmitting them
+// re-runs the vendor dialogue without double-mutating device state.
+func (c *Controller) retrying(parent obs.SpanRef, bud *opBudget, mk func() *sim.Job) *sim.Job {
+	out := c.k.NewJob()
+	c.retryAttempt(parent, bud, mk, 1, c.retry.BaseBackoff, out)
+	return out
+}
+
+func (c *Controller) retryAttempt(parent obs.SpanRef, bud *opBudget, mk func() *sim.Job, attempt int, backoff sim.Duration, out *sim.Job) {
+	mk().OnDone(func(err error) {
+		if err == nil || !faults.IsTransient(err) ||
+			attempt >= c.retry.MaxAttempts || bud.spent+backoff > c.retry.Budget {
+			out.Complete(err)
+			return
+		}
+		bud.spent += backoff
+		c.ins.emsRetries.Inc()
+		sp := c.tr.Start(parent, "retry")
+		next := 2 * backoff
+		if next > c.retry.MaxBackoff {
+			next = c.retry.MaxBackoff
+		}
+		c.k.After(backoff, func() {
+			sp.End()
+			c.retryAttempt(parent, bud, mk, attempt+1, next, out)
+		})
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"griphon/internal/bw"
 	"griphon/internal/ems"
+	"griphon/internal/faults"
 	"griphon/internal/fxc"
 	"griphon/internal/inventory"
 	"griphon/internal/obs"
@@ -181,15 +182,28 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 
 func connKey(id ConnID) string { return "conn:" + string(id) }
 
-// connectWavelength reserves and configures a DWDM-layer connection.
+// wavelengthAlternates bounds how many alternate routes a setup tries after a
+// path-level EMS failure before degrading to the OTN layer or giving up.
+const wavelengthAlternates = 2
+
+// connectWavelength reserves and configures a DWDM-layer connection, walking
+// the degradation ladder when the network will not cooperate: transient EMS
+// faults are retried inside the setup job; a path that keeps failing is
+// abandoned for the next candidate route; and when every route is exhausted
+// (or none exists to begin with), a 10G request may be delivered as a groomed
+// OTN circuit instead of hard-blocking (Config.DegradeToOTN).
 func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim.Job, error) {
 	lp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, nil, nil, true, conn.opSpan)
 	if err != nil {
+		// No route or wavelength at admission: the ladder's last rung.
+		if job, derr := c.degradeToGroomed(conn, a, b, err); derr == nil {
+			return job, nil
+		}
 		return nil, err
 	}
-	conn.path = lp
 
 	if conn.Protect == OnePlusOne {
+		conn.path = lp
 		avoid := map[topo.LinkID]bool{}
 		for _, l := range lp.route.Path.Links {
 			avoid[l] = true
@@ -197,16 +211,89 @@ func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim
 		plp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, nil, false, conn.opSpan)
 		if err != nil {
 			c.releaseLightpath(conn.ID, lp)
+			conn.path = nil
 			return nil, fmt.Errorf("core: no disjoint protect path: %w", err)
 		}
 		conn.protect = plp
+		// 1+1 legs stand or fall together — a failed leg means the paid-for
+		// protection cannot be delivered, so no ladder here.
+		job := sim.All(c.k, c.lightpathSetupJob(lp, conn.opSpan), c.lightpathSetupJob(plp, conn.opSpan))
+		job.OnDone(func(err error) { c.finishSetup(conn, err) })
+		return job, nil
 	}
 
-	job := c.lightpathSetupJob(lp, conn.opSpan)
-	if conn.protect != nil {
-		job = sim.All(c.k, job, c.lightpathSetupJob(conn.protect, conn.opSpan))
+	out := c.k.NewJob()
+	c.attemptWavelengthSetup(conn, a, b, lp, wavelengthAlternates, out)
+	return out, nil
+}
+
+// attemptWavelengthSetup runs the EMS choreography for one candidate
+// lightpath and, when it fails while the connection is still pending, drops
+// one rung down the ladder: release the path, reserve the next candidate
+// avoiding the links that just failed (faults are per-command, so an older
+// path may legitimately be retried later), and try again — up to `alternates`
+// reroutes, then the OTN grooming fallback.
+func (c *Controller) attemptWavelengthSetup(conn *Connection, a, b topo.NodeID, lp *lightpath, alternates int, out *sim.Job) {
+	conn.path = lp
+	c.lightpathSetupJob(lp, conn.opSpan).OnDone(func(err error) {
+		if err == nil || conn.State != StatePending || !faults.IsFault(err) {
+			// Success, torn down mid-setup, or a plain (non-fault-model)
+			// error — those signal controller logic problems, and papering
+			// over them with a reroute would hide real bugs.
+			c.finishSetup(conn, err)
+			out.Complete(err)
+			return
+		}
+		// Path-level EMS fault; transient faults were already retried
+		// inside the setup job, so this path is not worth more attempts.
+		c.log(conn.ID, "setup-fallback", "path %s failed: %v", lp.route.Path, err)
+		c.releaseLightpath(conn.ID, lp)
+		conn.path = nil
+		avoid := map[topo.LinkID]bool{}
+		for _, l := range lp.route.Path.Links {
+			avoid[l] = true
+		}
+		if alternates > 0 {
+			if alt, rerr := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, nil, true, conn.opSpan); rerr == nil {
+				c.ins.setupRerouted.Inc()
+				c.log(conn.ID, "setup-reroute", "retrying on candidate %s", alt.route.Path)
+				c.attemptWavelengthSetup(conn, a, b, alt, alternates-1, out)
+				return
+			}
+		}
+		if job, derr := c.degradeToGroomed(conn, a, b, err); derr == nil {
+			job.OnDone(func(err error) { out.Complete(err) })
+			return
+		}
+		c.finishSetup(conn, err)
+		out.Complete(err)
+	})
+}
+
+// degradeToGroomed delivers a blocked or persistently-failing 10G wavelength
+// request as a groomed OTN circuit — the ladder's last rung: sub-wavelength
+// service on the paper's Fig. 2 placement, pressed into duty when the DWDM
+// layer cannot deliver a whole wavelength. It returns the original cause when
+// degradation is off or inapplicable: 40G cannot degrade (pipes are ODU2 —
+// 8 tributary slots — and a 40G circuit needs an ODU3), and 1+1 requests
+// never do (the paid-for dedicated protection has no OTN equivalent).
+func (c *Controller) degradeToGroomed(conn *Connection, a, b topo.NodeID, cause error) (*sim.Job, error) {
+	if !c.degradeToOTN || conn.Internal || conn.Rate != bw.Rate10G || conn.Protect == OnePlusOne {
+		return nil, cause
 	}
-	job.OnDone(func(err error) { c.finishSetup(conn, err) })
+	prevLayer, prevProtect := conn.Layer, conn.Protect
+	conn.Layer = LayerOTN
+	if conn.Protect == Restore {
+		conn.Protect = SharedMesh // the OTN layer's native scheme
+	}
+	job, err := c.connectCircuit(conn, a, b)
+	if err != nil {
+		conn.Layer, conn.Protect = prevLayer, prevProtect
+		return nil, cause
+	}
+	conn.Degraded = true
+	c.ins.setupGroomed.Inc()
+	c.log(conn.ID, "setup-degraded", "wavelength unavailable (%v); degrading to a groomed OTN circuit", cause)
 	return job, nil
 }
 
@@ -443,12 +530,16 @@ func segmentNodes(path topo.Path, plan optics.RegenPlan) [][]topo.NodeID {
 // lightpathSetupJob runs the EMS choreography for one lightpath and returns
 // the job completing when light is verified end to end. Durations follow the
 // calibrated latency table; the FXC controllers and the ROADM EMS are
-// separate serial managers, chained in the order the prototype used.
+// separate serial managers, chained in the order the prototype used. Every
+// EMS step is wrapped in the retry policy, sharing one backoff budget for the
+// whole choreography; the commands are pure latency (no Apply), so a
+// resubmitted step re-runs the vendor dialogue without double-mutating state.
 func (c *Controller) lightpathSetupJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
 	path := lp.route.Path
 	a, b := path.Src(), path.Dst()
 	hops := path.Hops()
 	sp := c.tr.Start(parent, "lightpath:setup")
+	bud := &opBudget{}
 	seq := sim.NewSequence(c.k).
 		Then(func() *sim.Job {
 			osp := c.tr.Start(sp, "controller-overhead")
@@ -457,32 +548,38 @@ func (c *Controller) lightpathSetupJob(lp *lightpath, parent obs.SpanRef) *sim.J
 			return j
 		}).
 		Then(func() *sim.Job {
-			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+			return c.retrying(sp, bud, func() *sim.Job {
+				return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+			})
 		}).
 		Then(func() *sim.Job {
-			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+			return c.retrying(sp, bud, func() *sim.Job {
+				return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+			})
 		}).
 		Then(func() *sim.Job {
-			cmds := []ems.Command{
-				{Name: "ems-session", Dur: c.jit(c.lat.EMSSession), Span: sp},
-				{Name: "add-drop:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
-				{Name: "add-drop:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
-			}
-			for _, n := range path.Intermediate() {
-				cmds = append(cmds, ems.Command{Name: "express:" + string(n), Dur: c.jit(c.lat.ROADMExpress), Span: sp})
-			}
-			for _, rg := range lp.regens {
-				cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Dur: c.jit(c.lat.RegenConfig), Span: sp})
-			}
-			cmds = append(cmds, ems.Command{Name: "laser-tune", Dur: c.jit(c.lat.LaserTune), Span: sp})
-			for i := 0; i < hops; i++ {
-				cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Dur: c.jit(c.lat.PowerBalancePerHop), Span: sp})
-			}
-			cmds = append(cmds,
-				ems.Command{Name: "link-equalize", Dur: c.jit(c.lat.LinkEqualize), Span: sp},
-				ems.Command{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: sp},
-			)
-			return c.roadmEMS.SubmitBatch(cmds)
+			return c.retrying(sp, bud, func() *sim.Job {
+				cmds := []ems.Command{
+					{Name: "ems-session", Dur: c.jit(c.lat.EMSSession), Span: sp},
+					{Name: "add-drop:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
+					{Name: "add-drop:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
+				}
+				for _, n := range path.Intermediate() {
+					cmds = append(cmds, ems.Command{Name: "express:" + string(n), Dur: c.jit(c.lat.ROADMExpress), Span: sp})
+				}
+				for _, rg := range lp.regens {
+					cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Dur: c.jit(c.lat.RegenConfig), Span: sp})
+				}
+				cmds = append(cmds, ems.Command{Name: "laser-tune", Dur: c.jit(c.lat.LaserTune), Span: sp})
+				for i := 0; i < hops; i++ {
+					cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Dur: c.jit(c.lat.PowerBalancePerHop), Span: sp})
+				}
+				cmds = append(cmds,
+					ems.Command{Name: "link-equalize", Dur: c.jit(c.lat.LinkEqualize), Span: sp},
+					ems.Command{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: sp},
+				)
+				return c.roadmEMS.SubmitBatch(cmds)
+			})
 		})
 	job := seq.Go()
 	job.OnDone(func(err error) { sp.EndErr(err) })
@@ -495,19 +592,26 @@ func (c *Controller) lightpathTeardownJob(lp *lightpath, parent obs.SpanRef) *si
 	path := lp.route.Path
 	a, b := path.Src(), path.Dst()
 	sp := c.tr.Start(parent, "lightpath:teardown")
+	bud := &opBudget{}
 	job := sim.NewSequence(c.k).
 		ThenWait(c.jit(c.lat.TeardownController)).
 		Then(func() *sim.Job {
-			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+			return c.retrying(sp, bud, func() *sim.Job {
+				return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+			})
 		}).
 		Then(func() *sim.Job {
-			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+			return c.retrying(sp, bud, func() *sim.Job {
+				return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+			})
 		}).
 		Then(func() *sim.Job {
-			return c.roadmEMS.SubmitBatch([]ems.Command{
-				{Name: "teardown-session", Dur: c.jit(c.lat.TeardownEMSSession), Span: sp},
-				{Name: "release:" + string(a), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
-				{Name: "release:" + string(b), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+			return c.retrying(sp, bud, func() *sim.Job {
+				return c.roadmEMS.SubmitBatch([]ems.Command{
+					{Name: "teardown-session", Dur: c.jit(c.lat.TeardownEMSSession), Span: sp},
+					{Name: "release:" + string(a), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+					{Name: "release:" + string(b), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+				})
 			})
 		}).
 		Go()

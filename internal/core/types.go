@@ -149,6 +149,10 @@ type Connection struct {
 	// Internal marks carrier-owned connections (OTN pipe carriers) that
 	// are not customer-visible.
 	Internal bool
+	// Degraded marks a wavelength request delivered as a groomed OTN
+	// circuit because the DWDM layer could not carry it (the last rung of
+	// the setup degradation ladder).
+	Degraded bool
 	// carries is the pipe this internal wavelength transports.
 	carries otn.PipeID
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"griphon/internal/faults"
 	"griphon/internal/sim"
 )
 
@@ -241,5 +242,103 @@ func TestInjectFailures(t *testing.T) {
 	k.Run()
 	if j6.Err() != boom || applied {
 		t.Errorf("err=%v applied=%v", j6.Err(), applied)
+	}
+}
+
+// TestBusyTimeAccruesAtCompletion is the regression test for BusyTime
+// over-reporting: with a 10 s command halfway through execution, BusyTime must
+// still read zero — it counts only completed work.
+func TestBusyTimeAccruesAtCompletion(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewManager("e", k)
+	m.Submit(Command{Name: "slow", Dur: 10 * time.Second})
+	k.RunFor(5 * time.Second)
+	if got := m.BusyTime(); got != 0 {
+		t.Errorf("BusyTime mid-flight = %v, want 0", got)
+	}
+	k.Run()
+	if got := m.BusyTime(); got != 10*time.Second {
+		t.Errorf("BusyTime after completion = %v, want 10s", got)
+	}
+}
+
+// TestFaultModelOnManager wires a faults.Model in and checks the three
+// behaviors the manager must honor: classified failures, skipped Apply, and
+// latency inflation reflected in both the completion time and BusyTime.
+func TestFaultModelOnManager(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewManager("roadm-ems", k)
+	m.SetFaults(faults.NewModel(k, faults.Profile{Transient: 1}))
+	applied := false
+	j := m.Submit(Command{Name: "laser-tune", Dur: time.Second, Apply: func() error {
+		applied = true
+		return nil
+	}})
+	k.Run()
+	if !faults.IsTransient(j.Err()) {
+		t.Fatalf("err = %v, want a transient fault", j.Err())
+	}
+	if applied {
+		t.Error("Apply ran on a failed command")
+	}
+
+	// Latency inflation: every command takes 2-4x nominal, and BusyTime
+	// accounts the inflated duration.
+	m2 := NewManager("slow-ems", k)
+	m2.SetFaults(faults.NewModel(k, faults.Profile{Slow: 1, SlowMax: 4}))
+	start := k.Now()
+	j2 := m2.Submit(Command{Name: "verify", Dur: time.Second})
+	k.Run()
+	took := j2.End().Sub(start)
+	if took < time.Second || took > 4*time.Second {
+		t.Errorf("inflated command took %v, want within [1s, 4s]", took)
+	}
+	if m2.BusyTime() != took {
+		t.Errorf("BusyTime = %v, want the inflated %v", m2.BusyTime(), took)
+	}
+}
+
+// TestInjectFailuresPrecedence pins the interleaving contract between the
+// deterministic test hook and the probabilistic model: while injections are
+// pending the model is not consulted; once they are exhausted or cleared, the
+// model rules again.
+func TestInjectFailuresPrecedence(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewManager("e", k)
+	model := faults.NewModel(k, faults.Profile{Transient: 1}) // would fail everything
+	m.SetFaults(model)
+	boom := errors.New("injected")
+	m.InjectFailures(1, boom)
+
+	applied := false
+	j1 := m.Submit(Command{Name: "a", Dur: time.Second, Apply: func() error {
+		applied = true
+		return nil
+	}})
+	k.Run()
+	if j1.Err() != boom {
+		t.Fatalf("err = %v, want the injected error (injection takes precedence)", j1.Err())
+	}
+	if applied {
+		t.Error("Apply ran on an injected failure")
+	}
+	if model.Stats().Decisions != 0 {
+		t.Errorf("fault model consulted %d times during injection, want 0", model.Stats().Decisions)
+	}
+
+	// Injection exhausted: the model rules again.
+	j2 := m.Submit(Command{Name: "b", Dur: time.Second})
+	k.Run()
+	if !faults.IsTransient(j2.Err()) {
+		t.Errorf("post-injection err = %v, want a model fault", j2.Err())
+	}
+
+	// Clearing a pending injection also hands control back to the model.
+	m.InjectFailures(5, boom)
+	m.InjectFailures(0, nil)
+	j3 := m.Submit(Command{Name: "c", Dur: time.Second})
+	k.Run()
+	if !faults.IsTransient(j3.Err()) {
+		t.Errorf("post-clear err = %v, want a model fault, not %v", j3.Err(), boom)
 	}
 }

@@ -42,7 +42,24 @@ type Manager struct {
 	// experiments to exercise controller rollback paths.
 	failNext int
 	failErr  error
+
+	// faults, when non-nil, is the probabilistic fault model consulted for
+	// every command at dequeue. Deterministic injection (failNext) takes
+	// precedence: the model is not consulted while injections are pending.
+	faults Injector
 }
+
+// Injector decides the fate of a command about to execute — the hook the
+// fault model (internal/faults) plugs in through. It returns the duration the
+// command should take (possibly inflated past the nominal d) and a non-nil
+// error to fail it. A failing command still occupies the EMS for the returned
+// duration: a vendor timeout burns its window before reporting failure.
+type Injector interface {
+	Decide(ems, cmd string, d sim.Duration) (sim.Duration, error)
+}
+
+// SetFaults attaches (or, with nil, detaches) a probabilistic fault model.
+func (m *Manager) SetFaults(f Injector) { m.faults = f }
 
 type queued struct {
 	cmd       Command
@@ -70,7 +87,8 @@ func (m *Manager) QueueLen() int { return len(m.queue) }
 // Served returns the number of commands completed.
 func (m *Manager) Served() uint64 { return m.served }
 
-// BusyTime returns the cumulative virtual time spent executing commands.
+// BusyTime returns the cumulative virtual time spent executing completed
+// commands. Work still in flight is not counted until it finishes.
 func (m *Manager) BusyTime() sim.Duration { return m.busyFor }
 
 // InjectFailures makes the next n commands fail with err when they execute
@@ -125,21 +143,31 @@ func (m *Manager) runNext() {
 	m.busy = true
 	q := m.queue[0]
 	m.queue = m.queue[1:]
-	m.busyFor += q.cmd.Dur
+
+	// The command's fate is fixed at dequeue. Deterministic injection takes
+	// precedence over the fault model, which may also inflate the duration.
+	dur, fail := q.cmd.Dur, error(nil)
+	if m.failNext > 0 {
+		m.failNext--
+		fail = m.failErr
+		if m.failNext == 0 {
+			m.failErr = nil
+		}
+	} else if m.faults != nil {
+		dur, fail = m.faults.Decide(m.name, q.cmd.Name, dur)
+	}
+
 	sp := m.tracer.StartTrack(q.cmd.Span, q.cmd.Name, m.name)
 	sp.SetWait(m.k.Now().Sub(q.submitted))
-	m.k.After(q.cmd.Dur, func() {
-		var err error
-		if m.failNext > 0 {
-			m.failNext--
-			err = m.failErr
-			if m.failNext == 0 {
-				m.failErr = nil
-			}
-		} else if q.cmd.Apply != nil {
+	m.k.After(dur, func() {
+		err := fail
+		if err == nil && q.cmd.Apply != nil {
 			err = q.cmd.Apply()
 		}
 		m.served++
+		// Accrued at completion, not dequeue, so BusyTime never counts
+		// in-flight work it has not yet spent.
+		m.busyFor += dur
 		sp.EndErr(err)
 		q.job.Complete(err)
 		m.runNext()

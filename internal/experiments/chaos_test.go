@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestChaosSoak runs the randomized fault-injection soak across several seeds
+// and requires the invariant auditor to stay silent throughout. Short mode
+// (CI's quick lane) trims the op count and seed set.
+func TestChaosSoak(t *testing.T) {
+	steps, seeds := 500, []int64{1, 2, 3}
+	if testing.Short() {
+		steps, seeds = 150, []int64{1}
+	}
+	for _, seed := range seeds {
+		res, err := ChaosN(seed, steps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := res.Values["audit_findings"]; got != 0 {
+			for _, n := range res.Notes {
+				t.Log(n)
+			}
+			t.Fatalf("seed %d: %v invariant findings after %d ops", seed, got, steps)
+		}
+		if res.Values["decisions"] == 0 {
+			t.Errorf("seed %d: fault model saw no EMS commands; soak misconfigured", seed)
+		}
+		if res.Values["connects"] == 0 {
+			t.Errorf("seed %d: no successful connects; workload misconfigured", seed)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"griphon/internal/sim"
+)
+
+func TestZeroProfileInjectsNothing(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewModel(k, Profile{})
+	for i := 0; i < 1000; i++ {
+		d, err := m.Decide("roadm-ems", "laser-tune", time.Second)
+		if err != nil {
+			t.Fatalf("zero profile injected %v", err)
+		}
+		if d != time.Second {
+			t.Fatalf("zero profile changed duration to %v", d)
+		}
+	}
+	if s := m.Stats(); s.Transients != 0 || s.Persistents != 0 || s.Slowed != 0 || s.Brownouts != 0 {
+		t.Errorf("zero profile stats = %+v", s)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	k := sim.NewKernel(2)
+	m := NewModel(k, Profile{Transient: 1})
+	d, err := m.Decide("roadm-ems", "verify", time.Second)
+	if err == nil {
+		t.Fatal("Transient=1 did not fail")
+	}
+	if !IsTransient(err) {
+		t.Errorf("IsTransient(%v) = false", err)
+	}
+	if d != time.Second {
+		t.Errorf("duration changed to %v with Slow=0", d)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.EMS != "roadm-ems" || fe.Cmd != "verify" {
+		t.Errorf("error fields = %+v", fe)
+	}
+}
+
+func TestPersistentOutranksTransient(t *testing.T) {
+	k := sim.NewKernel(3)
+	m := NewModel(k, Profile{Transient: 1, Persistent: 1})
+	_, err := m.Decide("otn-ems", "odu-xc:0", time.Second)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Class != Persistent {
+		t.Fatalf("err = %v, want persistent", err)
+	}
+	if IsTransient(err) {
+		t.Error("IsTransient true for a persistent fault")
+	}
+}
+
+func TestIsTransientRejectsPlainErrors(t *testing.T) {
+	if IsTransient(errors.New("vendor timeout")) {
+		t.Error("plain error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil classified transient")
+	}
+	wrapped := fmt.Errorf("setup: %w", &Error{EMS: "e", Cmd: "c", Class: Transient})
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient fault not recognized")
+	}
+}
+
+func TestLatencyInflation(t *testing.T) {
+	k := sim.NewKernel(4)
+	m := NewModel(k, Profile{Slow: 1, SlowMax: 2})
+	for i := 0; i < 100; i++ {
+		d, err := m.Decide("roadm-ems", "power-balance:0", time.Second)
+		if err != nil {
+			t.Fatalf("unexpected failure: %v", err)
+		}
+		if d < time.Second || d > 2*time.Second {
+			t.Fatalf("inflated duration %v outside [1s, 2s]", d)
+		}
+	}
+	if m.Stats().Slowed != 100 {
+		t.Errorf("Slowed = %d, want 100", m.Stats().Slowed)
+	}
+}
+
+func TestBrownoutWindowSlowsCommands(t *testing.T) {
+	k := sim.NewKernel(5)
+	m := NewModel(k, Profile{
+		BrownoutEvery:    time.Nanosecond, // first window opens ~immediately
+		BrownoutFor:      1e6 * time.Hour, // and lasts practically forever
+		BrownoutSlowdown: 4,
+	})
+	// The first onset is drawn from the epoch with mean 1 ns, so after an
+	// hour of virtual time the (effectively endless) window is open.
+	k.RunFor(time.Hour)
+	d, err := m.Decide("roadm-ems", "verify", time.Second)
+	if err != nil {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+	if d != 4*time.Second {
+		t.Errorf("browned-out duration = %v, want 4s", d)
+	}
+	if m.Stats().Brownouts == 0 {
+		t.Error("no brownout window recorded")
+	}
+}
+
+func TestBrownoutRaisesTransientRate(t *testing.T) {
+	k := sim.NewKernel(6)
+	m := NewModel(k, Profile{
+		BrownoutEvery:     time.Nanosecond,
+		BrownoutFor:       1e6 * time.Hour,
+		BrownoutTransient: 1,
+	})
+	k.RunFor(time.Hour)
+	_, err := m.Decide("roadm-ems", "verify", time.Second)
+	if !IsTransient(err) {
+		t.Fatalf("browned-out command did not fail transiently: %v", err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	decide := func(seed int64) []string {
+		k := sim.NewKernel(seed)
+		m := NewModel(k, DefaultProfile())
+		var out []string
+		for i := 0; i < 500; i++ {
+			d, err := m.Decide("roadm-ems", "laser-tune", time.Second)
+			out = append(out, fmt.Sprintf("%v/%v", d, err))
+		}
+		return out
+	}
+	a, b := decide(7), decide(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDefaultProfileRates(t *testing.T) {
+	k := sim.NewKernel(8)
+	m := NewModel(k, DefaultProfile())
+	const n = 20000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if _, err := m.Decide("roadm-ems", "laser-tune", time.Second); err != nil {
+			fails++
+		}
+	}
+	// ~4.4% of commands should fail (transient + persistent); allow slack.
+	if rate := float64(fails) / n; rate < 0.02 || rate > 0.09 {
+		t.Errorf("default-profile failure rate %.3f outside [0.02, 0.09]", rate)
+	}
+	s := m.Stats()
+	if s.Transients == 0 || s.Persistents == 0 || s.Slowed == 0 {
+		t.Errorf("default profile never exercised some class: %+v", s)
+	}
+}

@@ -175,5 +175,20 @@ func (s *Switch) FreePort(role PortRole) (PortID, error) {
 // Connections returns the number of active cross-connects.
 func (s *Switch) Connections() int { return len(s.peer) / 2 }
 
+// Owners returns the distinct owners of active cross-connects, sorted —
+// the enumeration invariant auditors sweep.
+func (s *Switch) Owners() []string {
+	set := map[string]bool{}
+	for _, o := range s.owner {
+		set[o] = true
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // NumPorts returns the number of ports with the given role.
 func (s *Switch) NumPorts(role PortRole) int { return len(s.byRole[role]) }

@@ -124,6 +124,17 @@ func (l *Ledger) Release(c Customer, key string) error {
 	return nil
 }
 
+// Claims returns every claimed resource key, sorted — the enumeration
+// invariant auditors sweep for leaked claims.
+func (l *Ledger) Claims() []string {
+	out := make([]string, 0, len(l.owners))
+	for k := range l.owners {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Customers returns every customer with recorded usage or quota, sorted.
 func (l *Ledger) Customers() []Customer {
 	set := map[Customer]bool{}

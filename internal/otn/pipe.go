@@ -196,6 +196,23 @@ func (p *Pipe) ReleaseShared(owner string) error {
 	return nil
 }
 
+// Owners returns the distinct owners holding tributary slots, sorted — the
+// enumeration invariant auditors sweep.
+func (p *Pipe) Owners() []string {
+	set := map[string]bool{}
+	for _, o := range p.slots {
+		if o != "" {
+			set[o] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // SharedOwners returns owners with shared reservations, sorted.
 func (p *Pipe) SharedOwners() []string {
 	out := make([]string, 0, len(p.shared))

@@ -79,8 +79,10 @@ func (k *Kernel) AfterJob(d Duration, err error) *Job {
 }
 
 // All returns a job that completes when every input job has completed. Its
-// error is the first (by completion order) non-nil error among them. With no
-// inputs it completes at the current instant.
+// error is the first non-nil error in argument order — not completion order,
+// which for jobs spread across independently-paced executors (e.g. commands on
+// two different EMSes) would make the reported error depend on relative
+// timing. With no inputs it completes at the current instant.
 func All(k *Kernel, jobs ...*Job) *Job {
 	out := k.NewJob()
 	if len(jobs) == 0 {
@@ -88,15 +90,21 @@ func All(k *Kernel, jobs ...*Job) *Job {
 		return out
 	}
 	remaining := len(jobs)
-	var firstErr error
-	for _, j := range jobs {
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		i := i
 		j.OnDone(func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[i] = err
 			remaining--
 			if remaining == 0 {
-				out.Complete(firstErr)
+				var first error
+				for _, e := range errs {
+					if e != nil {
+						first = e
+						break
+					}
+				}
+				out.Complete(first)
 			}
 		})
 	}

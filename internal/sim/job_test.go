@@ -100,7 +100,33 @@ func TestAllFirstError(t *testing.T) {
 	all := All(k, a, b)
 	k.Run()
 	if all.Err() != e1 {
-		t.Errorf("All err = %v, want first error by completion order", all.Err())
+		t.Errorf("All err = %v, want first error by argument order", all.Err())
+	}
+}
+
+// TestAllFirstErrorByArgumentOrder pins the batch-error contract: when jobs on
+// independently-paced executors complete out of submission order, All must
+// still report the first failing job by argument order, not whichever error
+// happened to land first on the virtual clock.
+func TestAllFirstErrorByArgumentOrder(t *testing.T) {
+	k := NewKernel(1)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	a := k.AfterJob(2*time.Second, errA) // argument 0, completes second
+	b := k.AfterJob(1*time.Second, errB) // argument 1, completes first
+	all := All(k, a, b)
+	k.Run()
+	if all.Err() != errA {
+		t.Errorf("All err = %v, want errA (first by argument order)", all.Err())
+	}
+
+	// A healthy early argument must not mask a later argument's error.
+	c := k.AfterJob(1*time.Second, nil)
+	d := k.AfterJob(3*time.Second, errB)
+	all2 := All(k, c, d)
+	k.Run()
+	if all2.Err() != errB {
+		t.Errorf("All err = %v, want errB", all2.Err())
 	}
 }
 
