@@ -10,6 +10,7 @@
 //	griphon-bench -exp scale -cpuprofile cpu.prof -memprofile mem.prof
 //	griphon-bench -trace trace.json   # record a setup→cut→restore demo trace
 //	griphon-bench -chaos 2000         # chaos soak: N randomized ops under the fault model
+//	griphon-bench -crash 50           # crash-recovery soak: N random WAL truncations
 package main
 
 import (
@@ -31,7 +32,21 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := flag.String("trace", "", "record a scripted setup→cut→restore demo and write its Chrome trace to this file")
 	chaos := flag.Int("chaos", 0, "run the chaos soak with this many randomized operations and exit")
+	crash := flag.Int("crash", 0, "run the crash-recovery soak with this many WAL truncation trials and exit")
 	flag.Parse()
+
+	if *crash > 0 {
+		res, err := experiments.CrashRecN(*seed, *crash)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crash:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if res.Values["findings"] != 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaos > 0 {
 		res, err := experiments.ChaosN(*seed, *chaos)

@@ -14,6 +14,7 @@
 //	griphond -topo continental -pops 75 -sites 8
 //	griphond -listen :9000 -seed 7
 //	griphond -trace                  # record spans; GET /api/v1/trace
+//	griphond -state-dir /var/lib/griphon   # durable state; restart-safe
 package main
 
 import (
@@ -35,21 +36,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	autoRepair := flag.Bool("auto-repair", true, "dispatch repair crews automatically after cuts")
 	trace := flag.Bool("trace", false, "record virtual-time spans; export via GET /api/v1/trace")
+	stateDir := flag.String("state-dir", "", "persist controller state in this directory (WAL + snapshots); recovers on restart")
+	fsync := flag.Bool("fsync", false, "fsync the journal after every commit (with -state-dir)")
 	flag.Parse()
 
-	net, desc, err := buildNetwork(*topoName, *pops, *sites, *seed, *autoRepair, *trace)
+	net, desc, err := buildNetwork(*topoName, *pops, *sites, *seed, *autoRepair, *trace, *stateDir, *fsync)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
 	srv := api.NewServer(net)
 	log.Printf("griphond: %s, listening on %s", desc, *listen)
 	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
 }
 
 // buildNetwork assembles the simulated network for the chosen topology.
-func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair, trace bool) (*griphon.Network, string, error) {
+func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair, trace bool, stateDir string, fsync bool) (*griphon.Network, string, error) {
 	var topo *griphon.Topology
 	switch topoName {
 	case "testbed":
@@ -72,6 +74,12 @@ func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair, trac
 	}
 	if trace {
 		opts = append(opts, griphon.WithTracing())
+	}
+	if stateDir != "" {
+		opts = append(opts, griphon.WithStateDir(stateDir))
+		if fsync {
+			opts = append(opts, griphon.WithFsync())
+		}
 	}
 	net, err := griphon.New(topo, opts...)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"griphon/internal/bw"
 	"griphon/internal/core"
 	"griphon/internal/inventory"
+	"griphon/internal/journal"
 	"griphon/internal/obs"
 	"griphon/internal/sim"
 	"griphon/internal/topo"
@@ -65,9 +66,11 @@ type Maintenance = core.Maintenance
 type Option func(*config)
 
 type config struct {
-	seed    int64
-	core    core.Config
-	tracing bool
+	seed     int64
+	core     core.Config
+	tracing  bool
+	stateDir string
+	fsync    bool
 }
 
 // WithSeed sets the simulation seed (default 1). Runs with equal seeds are
@@ -124,13 +127,29 @@ func WithTracing() Option {
 	return func(c *config) { c.tracing = true }
 }
 
+// WithStateDir makes the controller's state durable in dir: every committed
+// operation is appended to a checksummed write-ahead log with periodic full
+// snapshots. If dir already holds state from a previous run, New recovers it —
+// connections, pipes, bookings, quotas and fiber status come back exactly as
+// last committed, with booking timers re-armed. Call Close when done.
+func WithStateDir(dir string) Option {
+	return func(c *config) { c.stateDir = dir }
+}
+
+// WithFsync forces a file sync after every journal append (only meaningful
+// with WithStateDir). Durability against OS crashes at one fsync per commit.
+func WithFsync() Option {
+	return func(c *config) { c.fsync = true }
+}
+
 // Network is a GRIPhoN deployment: the photonic plant, the OTN overlay, the
 // vendor EMSes and the GRIPhoN controller, all running on one virtual clock.
 // Network is not safe for concurrent use; the simulation is single-threaded
 // by design (determinism).
 type Network struct {
-	k    *sim.Kernel
-	ctrl *core.Controller
+	k     *sim.Kernel
+	ctrl  *core.Controller
+	store *journal.Store
 }
 
 // New builds a network over the given topology.
@@ -160,11 +179,38 @@ func New(t *Topology, opts ...Option) (*Network, error) {
 	if cfg.tracing {
 		cfg.core.Tracer = obs.NewTracer(k)
 	}
-	ctrl, err := core.New(k, t.g, cfg.core)
+	var store *journal.Store
+	if cfg.stateDir != "" {
+		var err error
+		store, err = journal.Open(cfg.stateDir, journal.Options{Fsync: cfg.fsync})
+		if err != nil {
+			return nil, err
+		}
+		cfg.core.Journal = store
+	}
+	var ctrl *core.Controller
+	var err error
+	if store != nil && store.HasState() {
+		ctrl, err = core.Rehydrate(k, t.g, cfg.core)
+	} else {
+		ctrl, err = core.New(k, t.g, cfg.core)
+	}
 	if err != nil {
+		if store != nil {
+			_ = store.Close() // construction already failed; surface that error
+		}
 		return nil, err
 	}
-	return &Network{k: k, ctrl: ctrl}, nil
+	return &Network{k: k, ctrl: ctrl, store: store}, nil
+}
+
+// Close releases the journal (a no-op without WithStateDir). The network is
+// unusable for durable operations afterwards.
+func (n *Network) Close() error {
+	if n.store == nil {
+		return nil
+	}
+	return n.store.Close()
 }
 
 // Controller exposes the underlying GRIPhoN controller for advanced use
@@ -331,7 +377,7 @@ func (n *Network) BillGbHours(customer string) float64 {
 // SetQuota bounds a customer's simultaneous connections and total bandwidth
 // (zero = unlimited).
 func (n *Network) SetQuota(customer string, maxConns int, maxBandwidth Rate) {
-	n.ctrl.Ledger().SetQuota(inventory.Customer(customer), inventory.Quota{
+	n.ctrl.SetQuota(inventory.Customer(customer), inventory.Quota{
 		MaxConnections: maxConns,
 		MaxBandwidth:   maxBandwidth,
 	})

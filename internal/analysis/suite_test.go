@@ -16,6 +16,9 @@ func TestWallclock(t *testing.T) {
 	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/flag", "example/fixture")
 	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/clean", "example/fixture")
 	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/sim", "griphon/internal/sim/fixture")
+	// The durable state store does real file I/O but earns no clock
+	// exemption: journal records carry virtual time or replay diverges.
+	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/journal", "griphon/internal/journal/fixture")
 }
 
 func TestSpanpair(t *testing.T) {

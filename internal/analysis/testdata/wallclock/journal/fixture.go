@@ -1,0 +1,34 @@
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+// This fixture is checked under griphon/internal/journal/..., the durable
+// state store. Real file I/O is fine — durability needs the filesystem — but
+// the package gets no wall-clock exemption: journal entries are stamped with
+// the *virtual* time carried in the records, never the host clock, or a
+// recovered run would diverge from the run that wrote the log.
+
+// appendFrame is the legal shape: os calls plus a virtual timestamp the
+// caller read from the kernel.
+func appendFrame(f *os.File, virtualNow int64, payload []byte) error {
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	_ = virtualNow
+	return f.Sync()
+}
+
+// stampWithHostClock is the bug the analyzer exists to catch in this
+// package: a host-clock stamp in a durable record.
+func stampWithHostClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// retryBackoff blocking on the host clock would stall the single-threaded
+// kernel and desynchronize replay.
+func retryBackoff() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep reads the wall clock`
+}

@@ -93,6 +93,7 @@ func (c *Controller) AdjustRate(cust inventory.Customer, id ConnID, newRate bw.R
 	conn.Rate = newRate
 	txn.Commit()
 	c.log(id, "adjust", "rate %v -> %v", oldRate, newRate)
+	c.journalCommit(commitSet{reason: "adjust", conns: []*Connection{conn}})
 	return job, nil
 }
 

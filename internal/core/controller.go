@@ -11,6 +11,7 @@ import (
 	"griphon/internal/faults"
 	"griphon/internal/fxc"
 	"griphon/internal/inventory"
+	"griphon/internal/journal"
 	"griphon/internal/obs"
 	"griphon/internal/optics"
 	"griphon/internal/otn"
@@ -65,6 +66,13 @@ type Config struct {
 	// means a fresh private registry; pass one to share instruments with
 	// an embedding harness.
 	Metrics *obs.Registry
+	// Journal, when non-nil, makes every committed state change durable:
+	// one WAL record per commit point plus periodic full snapshots. Use
+	// Rehydrate to rebuild a controller from a journal's contents.
+	Journal *journal.Store
+	// SnapshotEvery sets the snapshot cadence in WAL appends (default 256;
+	// negative disables snapshots). Ignored without Journal.
+	SnapshotEvery int
 }
 
 // Controller is the GRIPhoN controller: the only component that talks to the
@@ -89,6 +97,12 @@ type Controller struct {
 	nextConn   int
 	lpSeq      int
 	accessUsed map[topo.SiteID]bw.Rate
+
+	bookings    map[int]*Booking
+	nextBooking int
+
+	jrnl          *journal.Store
+	snapshotEvery int
 
 	correlator *alarms.Correlator
 	autoRepair bool
@@ -171,6 +185,7 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		otnEMS:       ems.NewManager("otn-ems", k),
 		fxcEMS:       make(map[topo.NodeID]*ems.Manager),
 		conns:        make(map[ConnID]*Connection),
+		bookings:     make(map[int]*Booking),
 		accessUsed:   make(map[topo.SiteID]bw.Rate),
 		autoRepair:   cfg.AutoRepair,
 		autoRevert:   cfg.AutoRevert,
@@ -183,6 +198,11 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 	}
 	if c.reg == nil {
 		c.reg = obs.NewRegistry()
+	}
+	c.jrnl = cfg.Journal
+	c.snapshotEvery = cfg.SnapshotEvery
+	if c.snapshotEvery == 0 {
+		c.snapshotEvery = 256
 	}
 	c.retry = DefaultRetryPolicy()
 	if cfg.Retry != nil {
@@ -233,6 +253,22 @@ func (c *Controller) OTNEMS() *ems.Manager { return c.otnEMS }
 
 // Ledger returns the customer ledger (quotas, isolation).
 func (c *Controller) Ledger() *inventory.Ledger { return c.ledger }
+
+// SetQuota installs a customer quota through the controller so the change is
+// journaled. Callers holding the Ledger directly bypass durability.
+func (c *Controller) SetQuota(cust inventory.Customer, q inventory.Quota) {
+	c.ledger.SetQuota(cust, q)
+	c.journalCommit(commitSet{reason: "quota", quotas: true})
+}
+
+// Journal returns the journal store (nil when durability is disabled).
+func (c *Controller) Journal() *journal.Store { return c.jrnl }
+
+// Booking returns a booking by ID, or nil.
+func (c *Controller) Booking(id int) *Booking { return c.bookings[id] }
+
+// Bookings returns all bookings sorted by ID.
+func (c *Controller) Bookings() []*Booking { return c.sortedBookings() }
 
 // FaultModel returns the EMS fault model (nil when chaos is disabled).
 func (c *Controller) FaultModel() *faults.Model { return c.faultModel }
@@ -307,7 +343,9 @@ func (c *Controller) newConnID() ConnID {
 func (c *Controller) BillGbHours(cust inventory.Customer) float64 {
 	now := c.k.Now()
 	var total float64
-	for _, conn := range c.conns {
+	// Sum in ID order: float addition is not associative, and map-order
+	// iteration made the last decimals of an invoice vary run to run.
+	for _, conn := range c.Connections() {
 		if conn.Customer != cust || conn.Internal {
 			continue
 		}

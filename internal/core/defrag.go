@@ -21,6 +21,7 @@ import (
 func (c *Controller) DefragmentSpectrum() (*sim.Job, int) {
 	sp := c.tr.Start(obs.SpanRef{}, "op:defrag")
 	var jobs []*sim.Job
+	var movedConns []*Connection
 	moved := 0
 	for _, conn := range c.Connections() {
 		if conn.Layer != LayerDWDM || conn.State != StateActive {
@@ -29,8 +30,13 @@ func (c *Controller) DefragmentSpectrum() (*sim.Job, int) {
 		if c.retuneDown(conn) {
 			moved++
 			c.ins.retunes.Inc()
+			movedConns = append(movedConns, conn)
 			jobs = append(jobs, c.retuneJob(conn, sp))
 		}
+	}
+	if moved > 0 {
+		// The channel moves are synchronous; one commit covers the sweep.
+		c.journalCommit(commitSet{reason: "defrag", conns: movedConns})
 	}
 	job := sim.All(c.k, jobs...)
 	job.OnDone(func(err error) { sp.EndErr(err) })

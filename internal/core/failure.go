@@ -36,6 +36,9 @@ func (c *Controller) CutFiber(link topo.LinkID) error {
 		c.log("", "repair-dispatch", "crew for %s, ETA %v", link, crew)
 		c.k.After(crew, func() { c.RepairFiber(link) }) //lint:allow errcheck best-effort auto repair
 	}
+	// One commit for the whole synchronous blast radius: downed connections,
+	// failed pipes, and the authoritative down-link set.
+	c.journalCommit(commitSet{reason: "fiber-cut", conns: c.Connections(), pipes: c.fabric.Pipes(), links: true})
 	return nil
 }
 
@@ -70,6 +73,7 @@ func (c *Controller) hitByCut(conn *Connection, link topo.LinkID) {
 
 	conn.beginOutage(c.k.Now())
 	conn.State = StateDown
+	conn.stable = StateDown
 	if conn.Protect == Restore {
 		// op:restore spans the whole outage; its children tile it:
 		// detect (cut -> correlated alarms), localize, provision.
@@ -107,6 +111,7 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 	conn.beginOutage(c.k.Now())
 	if target == nil || !c.plant.PathUp(target.route.Path) {
 		conn.State = StateDown
+		conn.stable = StateDown
 		c.log(conn.ID, "down", "both 1+1 legs lost")
 		c.failCarriedPipe(conn)
 		return
@@ -125,18 +130,23 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 		if !c.plant.PathUp(target.route.Path) {
 			if conn.State == StateActive {
 				conn.State = StateDown
+				conn.stable = StateDown
 				c.log(conn.ID, "down", "both 1+1 legs lost")
 				c.failCarriedPipe(conn)
+				conns, pipes := c.carriedEntities(conn)
+				c.journalCommit(commitSet{reason: "protect-switch-failed", conns: conns, pipes: pipes})
 			}
 			conn.opSpan.EndOutcome("blocked")
 			return
 		}
 		conn.onProtect = !conn.onProtect
 		conn.State = StateActive
+		conn.stable = StateActive
 		conn.endOutage(c.k.Now())
 		conn.opSpan.End()
 		c.ins.protSwitches.Inc()
 		c.log(conn.ID, "protect-switch", "traffic on %s leg", map[bool]string{true: "protect", false: "working"}[conn.onProtect])
+		c.journalCommit(commitSet{reason: "protect-switch", conns: []*Connection{conn}})
 	})
 }
 
@@ -165,6 +175,7 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 	}
 	conn.beginOutage(c.k.Now())
 	conn.State = StateDown
+	conn.stable = StateDown
 	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:restore")
 	conn.opSpan.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
 	conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:detect")
@@ -211,6 +222,7 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 			conn.backup = nil
 			d := c.k.Now().Sub(conn.outageStart)
 			conn.State = StateActive
+			conn.stable = StateActive
 			conn.endOutage(c.k.Now())
 			conn.Restorations++
 			conn.phaseSpan.End()
@@ -218,6 +230,7 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 			c.ins.restored.Inc()
 			c.ins.restoreSecs[LayerOTN].Observe(d.Seconds())
 			c.log(conn.ID, "restored", "shared-mesh restoration in %v", conn.TotalOutage)
+			c.journalCommit(commitSet{reason: "mesh-restore", conns: []*Connection{conn}})
 		})
 	})
 }
@@ -247,6 +260,7 @@ func (c *Controller) RepairFiber(link topo.LinkID) error {
 			lp := conn.working()
 			if lp != nil && c.plant.PathUp(lp.route.Path) {
 				conn.State = StateActive
+				conn.stable = StateActive
 				conn.endOutage(c.k.Now())
 				conn.phaseSpan.EndOutcome("revived")
 				conn.opSpan.EndOutcome("revived")
@@ -263,6 +277,7 @@ func (c *Controller) RepairFiber(link topo.LinkID) error {
 				if other != nil && c.plant.PathUp(other.route.Path) {
 					conn.onProtect = !conn.onProtect
 					conn.State = StateActive
+					conn.stable = StateActive
 					conn.endOutage(c.k.Now())
 					c.log(conn.ID, "revived", "switched to repaired leg")
 				}
@@ -287,6 +302,9 @@ func (c *Controller) RepairFiber(link topo.LinkID) error {
 			}
 		}
 	}
+	// One commit for the synchronous revival sweep (reversion rolls commit on
+	// their own schedule as their bridge-and-roll events resolve).
+	c.journalCommit(commitSet{reason: "repair", conns: c.Connections(), pipes: c.fabric.Pipes(), links: true})
 	return nil
 }
 
@@ -318,10 +336,26 @@ func (c *Controller) reviveCircuitIfWhole(conn *Connection) {
 		}
 	}
 	conn.State = StateActive
+	conn.stable = StateActive
 	conn.endOutage(c.k.Now())
 	conn.phaseSpan.EndOutcome("revived")
 	conn.opSpan.EndOutcome("revived")
 	c.log(conn.ID, "revived", "all pipes whole again")
+}
+
+// carriedEntities returns the commit entities affected when a carrier
+// wavelength's state change propagates into the OTN layer: the carrier
+// itself, its pipe, and every circuit riding that pipe.
+func (c *Controller) carriedEntities(conn *Connection) ([]*Connection, []*otn.Pipe) {
+	conns := []*Connection{conn}
+	if !conn.Internal || conn.carries == "" {
+		return conns, nil
+	}
+	pipe := c.fabric.Pipe(conn.carries)
+	if pipe == nil {
+		return conns, nil
+	}
+	return append(conns, c.circuitsOnPipe(pipe.ID())...), []*otn.Pipe{pipe}
 }
 
 // onAlarmBatch is the correlation-window sink: localize the fault, then
@@ -434,6 +468,7 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 		conn.onProtect = false
 		d := c.k.Now().Sub(conn.outageStart)
 		conn.State = StateActive
+		conn.stable = StateActive
 		conn.endOutage(c.k.Now())
 		conn.Restorations++
 		conn.phaseSpan.End()
@@ -442,5 +477,7 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 		c.ins.restoreSecs[LayerDWDM].Observe(d.Seconds())
 		c.log(conn.ID, "restored", "outage %v", conn.TotalOutage)
 		c.revivePipe(conn)
+		conns, pipes := c.carriedEntities(conn)
+		c.journalCommit(commitSet{reason: "restore", conns: conns, pipes: pipes})
 	})
 }

@@ -34,6 +34,8 @@ type instruments struct {
 	emsRetries       *obs.Counter
 	setupRerouted    *obs.Counter
 	setupGroomed     *obs.Counter
+	bookingCloseErrs *obs.Counter
+	journalErrs      *obs.Counter
 }
 
 // Tracer returns the controller's tracer (nil when tracing is disabled).
@@ -92,6 +94,24 @@ func (c *Controller) initObs() {
 		"Setups that fell down the degradation ladder, by mode.", "mode", "reroute")
 	c.ins.setupGroomed = r.Counter("griphon_setup_degraded_total",
 		"Setups that fell down the degradation ladder, by mode.", "mode", "groomed")
+	c.ins.bookingCloseErrs = r.Counter("griphon_booking_close_errors_total",
+		"Disconnect errors hit while closing booking windows (including retried ones).")
+	c.ins.journalErrs = r.Counter("griphon_journal_errors_total",
+		"Journal writes that failed; the controller keeps running on memory.")
+	if c.jrnl != nil {
+		r.CounterFunc("griphon_journal_appends_total", "WAL records appended.",
+			func() float64 { return float64(c.jrnl.Stats().Appends) })
+		r.CounterFunc("griphon_journal_bytes_total", "WAL bytes written.",
+			func() float64 { return float64(c.jrnl.Stats().Bytes) })
+		r.CounterFunc("griphon_journal_fsyncs_total", "Journal fsync calls issued.",
+			func() float64 { return float64(c.jrnl.Stats().Fsyncs) })
+		r.CounterFunc("griphon_journal_snapshots_total", "Full state snapshots written.",
+			func() float64 { return float64(c.jrnl.Stats().Snapshots) })
+		r.CounterFunc("griphon_journal_replayed_total", "WAL entries replayed at the last open.",
+			func() float64 { return float64(c.jrnl.Stats().Replayed) })
+		r.CounterFunc("griphon_journal_torn_bytes_total", "Bytes discarded from a torn WAL tail.",
+			func() float64 { return float64(c.jrnl.Stats().TornBytes) })
+	}
 
 	// Live-state gauges, computed at scrape time from the resource database.
 	for _, st := range []State{StatePending, StateActive, StateDown, StateRestoring} {

@@ -1,0 +1,539 @@
+package core
+
+// Durable state: the serialized form of the controller's resource & inventory
+// database (paper §2.2, Fig. 3) and the journal plumbing that keeps it on
+// disk. Every committed mutation appends one commit record to the WAL at the
+// end of the kernel event that performed it; a full snapshot is written every
+// Config.SnapshotEvery appends. Rehydrate (rehydrate.go) folds snapshot+WAL
+// back into a live controller.
+//
+// What is durable is exactly the *committed* state: resources held by an
+// in-flight choreography (a Pending setup, a Restoring re-provision, a
+// bridge-and-roll bridge) are not recorded until the choreography resolves,
+// so recovery rolls half-done operations back by construction — the torn-tail
+// guarantee of the WAL extended up into the controller's transaction
+// boundaries. Billing meters and outage clocks mutate outside commit points
+// (mid-roll traffic hits, adjustment freezes) and are deliberately excluded;
+// recovery restarts them fresh, trading exact usage continuity for a state
+// representation that is byte-comparable against a live shadow.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"griphon/internal/journal"
+	"griphon/internal/obs"
+	"griphon/internal/otn"
+	"griphon/internal/rwa"
+)
+
+// recKindCommit is the WAL record kind for commit records.
+const recKindCommit = "commit"
+
+// quotaRec serializes one customer quota.
+type quotaRec struct {
+	Customer       string `json:"customer"`
+	MaxConnections int    `json:"max_connections,omitempty"`
+	MaxBandwidth   int64  `json:"max_bandwidth,omitempty"`
+}
+
+// lightpathRec serializes one provisioned wavelength path. Segment node
+// sequences are not stored: they are a pure function of Route.Path and
+// Route.Plan (segmentNodes), recomputed on rehydrate.
+type lightpathRec struct {
+	Route     rwa.Route `json:"route"`
+	OTs       [2]string `json:"ots"`
+	Regens    []string  `json:"regens,omitempty"`
+	PortsA    [2]string `json:"ports_a"`
+	PortsB    [2]string `json:"ports_b"`
+	SegOwners []string  `json:"seg_owners,omitempty"`
+}
+
+// connRec serializes one connection at its last stable state.
+type connRec struct {
+	ID           string        `json:"id"`
+	Customer     string        `json:"customer"`
+	From         string        `json:"from,omitempty"`
+	To           string        `json:"to,omitempty"`
+	Rate         int64         `json:"rate"`
+	Layer        int           `json:"layer"`
+	Protect      int           `json:"protect"`
+	State        int           `json:"state"`
+	Internal     bool          `json:"internal,omitempty"`
+	Degraded     bool          `json:"degraded,omitempty"`
+	Carries      string        `json:"carries,omitempty"`
+	OnProtect    bool          `json:"on_protect,omitempty"`
+	Path         *lightpathRec `json:"path,omitempty"`
+	ProtectPath  *lightpathRec `json:"protect_path,omitempty"`
+	Pipes        []string      `json:"pipes,omitempty"`
+	Slots        int           `json:"slots,omitempty"`
+	Backup       []string      `json:"backup,omitempty"`
+	RequestedAt  int64         `json:"requested_at"`
+	ActiveAt     int64         `json:"active_at,omitempty"`
+	ReleasedAt   int64         `json:"released_at,omitempty"`
+	Restorations int           `json:"restorations,omitempty"`
+	Rolls        int           `json:"rolls,omitempty"`
+}
+
+// pipeRec serializes one OTN pipe. Slot occupancy is deliberately NOT stored:
+// the pipe's live slot book can hold reservations made by a still-Pending
+// setup (connectCircuit reserves slots before the EMS choreography runs), and
+// those must evaporate on recovery exactly like every other uncommitted
+// resource. Rehydrate re-reserves slots from the committed connection records,
+// which are the authoritative ownership statement.
+type pipeRec struct {
+	ID string `json:"id"`
+	A  string `json:"a"`
+	B  string `json:"b"`
+	// Level is the ODU level as an int.
+	Level   int    `json:"level"`
+	Up      bool   `json:"up"`
+	Carrier string `json:"carrier,omitempty"`
+}
+
+// Booking phases, recorded in bookingRec.Phase.
+const (
+	bookingPending = iota // scheduled, window not yet open (or setup running)
+	bookingOpen           // components active, close timer armed
+	bookingClosed         // window closed, components released
+	bookingFailed         // setup failed, window abandoned
+)
+
+// bookingRec serializes one calendar booking.
+type bookingRec struct {
+	ID       int      `json:"id"`
+	Customer string   `json:"customer"`
+	From     string   `json:"from"`
+	To       string   `json:"to"`
+	Rate     int64    `json:"rate"`
+	Protect  int      `json:"protect"`
+	At       int64    `json:"at"`
+	Hold     int64    `json:"hold"`
+	CloseAt  int64    `json:"close_at,omitempty"`
+	Conns    []string `json:"conns,omitempty"`
+	Phase    int      `json:"phase"`
+	SetupErr string   `json:"setup_err,omitempty"`
+	CloseErr string   `json:"close_err,omitempty"`
+}
+
+// stateRec is the canonical full-state serialization: every slice sorted by
+// ID, every map flattened, so equal states marshal to equal bytes.
+type stateRec struct {
+	Now         int64        `json:"now"`
+	NextConn    int          `json:"next_conn"`
+	LpSeq       int          `json:"lp_seq"`
+	NextBooking int          `json:"next_booking"`
+	NextPipe    int          `json:"next_pipe"`
+	Quotas      []quotaRec   `json:"quotas,omitempty"`
+	DownLinks   []string     `json:"down_links,omitempty"`
+	Conns       []connRec    `json:"conns,omitempty"`
+	Pipes       []pipeRec    `json:"pipes,omitempty"`
+	Bookings    []bookingRec `json:"bookings,omitempty"`
+}
+
+// commitRec is one WAL record: the entities a commit point touched, plus the
+// monotonic counters. DownLinks and Quotas are pointer-slices: nil means
+// unchanged, non-nil is the authoritative full set.
+type commitRec struct {
+	Reason      string       `json:"reason"`
+	Now         int64        `json:"now"`
+	NextConn    int          `json:"next_conn"`
+	LpSeq       int          `json:"lp_seq"`
+	NextBooking int          `json:"next_booking"`
+	NextPipe    int          `json:"next_pipe"`
+	Conns       []connRec    `json:"conns,omitempty"`
+	Pipes       []pipeRec    `json:"pipes,omitempty"`
+	DelPipes    []string     `json:"del_pipes,omitempty"`
+	Bookings    []bookingRec `json:"bookings,omitempty"`
+	DownLinks   *[]string    `json:"down_links,omitempty"`
+	Quotas      *[]quotaRec  `json:"quotas,omitempty"`
+}
+
+// connRecOf captures a connection's last stable state. Pending connections
+// are skipped entirely: their resources belong to an uncommitted setup and
+// must evaporate on recovery. Mid-operation states map back to the last
+// stable one (TearingDown still holds its resources; Restoring is recorded
+// Down on its old path, the replacement being uncommitted).
+func (c *Controller) connRecOf(conn *Connection) (connRec, bool) {
+	st := conn.State
+	switch st {
+	case StatePending:
+		return connRec{}, false
+	case StateTearingDown, StateRestoring:
+		st = conn.stable
+	}
+	r := connRec{
+		ID:           string(conn.ID),
+		Customer:     string(conn.Customer),
+		From:         string(conn.From),
+		To:           string(conn.To),
+		Rate:         int64(conn.Rate),
+		Layer:        int(conn.Layer),
+		Protect:      int(conn.Protect),
+		State:        int(st),
+		Internal:     conn.Internal,
+		Degraded:     conn.Degraded,
+		Carries:      string(conn.carries),
+		RequestedAt:  int64(conn.RequestedAt),
+		ActiveAt:     int64(conn.ActiveAt),
+		ReleasedAt:   int64(conn.ReleasedAt),
+		Restorations: conn.Restorations,
+		Rolls:        conn.Rolls,
+	}
+	if st != StateReleased {
+		r.OnProtect = conn.onProtect
+		r.Path = lpRecOf(conn.path)
+		r.ProtectPath = lpRecOf(conn.protect)
+		for _, p := range conn.pipes {
+			r.Pipes = append(r.Pipes, string(p.ID()))
+		}
+		r.Slots = conn.slots
+		for _, p := range conn.backup {
+			r.Backup = append(r.Backup, string(p.ID()))
+		}
+	}
+	return r, true
+}
+
+func lpRecOf(lp *lightpath) *lightpathRec {
+	if lp == nil {
+		return nil
+	}
+	r := &lightpathRec{Route: lp.route}
+	for i, ot := range lp.ots {
+		if ot != nil {
+			r.OTs[i] = ot.ID
+		}
+	}
+	for _, rg := range lp.regens {
+		r.Regens = append(r.Regens, rg.ID)
+	}
+	for i := range lp.portsA {
+		r.PortsA[i] = string(lp.portsA[i])
+	}
+	for i := range lp.portsB {
+		r.PortsB[i] = string(lp.portsB[i])
+	}
+	r.SegOwners = append([]string(nil), lp.segOwners...)
+	return r
+}
+
+func (c *Controller) pipeRecOf(p *otn.Pipe) pipeRec {
+	a, b := p.Ends()
+	return pipeRec{
+		ID:      string(p.ID()),
+		A:       string(a),
+		B:       string(b),
+		Level:   int(p.Level()),
+		Up:      p.Up(),
+		Carrier: string(c.pipeCarrier[p.ID()]),
+	}
+}
+
+func bookingRecOf(b *Booking) bookingRec {
+	r := bookingRec{
+		ID:       b.ID,
+		Customer: string(b.Req.Customer),
+		From:     string(b.Req.From),
+		To:       string(b.Req.To),
+		Rate:     int64(b.Req.Rate),
+		Protect:  int(b.Req.Protect),
+		At:       int64(b.At),
+		Hold:     int64(b.Hold),
+		CloseAt:  int64(b.closeAt),
+		Phase:    b.phase,
+	}
+	// Components are durable only once the window's outcome commits: while
+	// the booking is pending its setups are in flight and uncommitted, so a
+	// recovered pending booking re-provisions from scratch instead of
+	// pointing at connections the journal never recorded.
+	if b.phase != bookingPending {
+		for _, conn := range b.Conns {
+			r.Conns = append(r.Conns, string(conn.ID))
+		}
+	}
+	if b.SetupErr != nil {
+		r.SetupErr = b.SetupErr.Error()
+	}
+	if b.CloseErr != nil {
+		r.CloseErr = b.CloseErr.Error()
+	}
+	return r
+}
+
+func (c *Controller) quotaRecs() []quotaRec {
+	var out []quotaRec
+	for _, cust := range c.ledger.Customers() {
+		q := c.ledger.QuotaOf(cust)
+		if q.MaxConnections == 0 && q.MaxBandwidth == 0 {
+			continue
+		}
+		out = append(out, quotaRec{
+			Customer:       string(cust),
+			MaxConnections: q.MaxConnections,
+			MaxBandwidth:   int64(q.MaxBandwidth),
+		})
+	}
+	return out
+}
+
+func (c *Controller) downLinkRecs() []string {
+	// Non-nil even when empty: commitRec carries this behind a pointer, and a
+	// pointer to a nil slice marshals as JSON null, which unmarshals back to a
+	// nil pointer — the fold would read "unchanged" where the truth is "all
+	// links repaired".
+	out := []string{}
+	for _, l := range c.plant.DownLinks() {
+		out = append(out, string(l))
+	}
+	return out
+}
+
+func (c *Controller) sortedBookings() []*Booking {
+	ids := make([]int, 0, len(c.bookings))
+	for id := range c.bookings {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Booking, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.bookings[id])
+	}
+	return out
+}
+
+// captureState serializes the whole committed state.
+func (c *Controller) captureState() stateRec {
+	st := stateRec{
+		Now:         int64(c.k.Now()),
+		NextConn:    c.nextConn,
+		LpSeq:       c.lpSeq,
+		NextBooking: c.nextBooking,
+		NextPipe:    c.fabric.NextID(),
+		Quotas:      c.quotaRecs(),
+		DownLinks:   c.downLinkRecs(),
+	}
+	for _, conn := range c.Connections() {
+		if r, ok := c.connRecOf(conn); ok {
+			st.Conns = append(st.Conns, r)
+		}
+	}
+	for _, p := range c.fabric.Pipes() {
+		st.Pipes = append(st.Pipes, c.pipeRecOf(p))
+	}
+	for _, b := range c.sortedBookings() {
+		st.Bookings = append(st.Bookings, bookingRecOf(b))
+	}
+	return st
+}
+
+// DurableState returns the canonical serialization of the committed state
+// with the clock zeroed — the byte-comparable form the crash-injection
+// harness diffs between a recovered controller and its live shadow.
+func (c *Controller) DurableState() ([]byte, error) {
+	st := c.captureState()
+	st.Now = 0
+	return json.Marshal(&st)
+}
+
+// foldState folds a snapshot and subsequent WAL entries into one stateRec:
+// entity records upsert by ID, DelPipes remove, pointer fields replace whole
+// sets, counters last-write-wins.
+func foldState(snapshot []byte, entries []journal.Entry) (stateRec, error) {
+	var st stateRec
+	if snapshot != nil {
+		if err := json.Unmarshal(snapshot, &st); err != nil {
+			return st, fmt.Errorf("core: corrupt state snapshot: %w", err)
+		}
+	}
+	conns := map[string]connRec{}
+	for _, r := range st.Conns {
+		conns[r.ID] = r
+	}
+	pipes := map[string]pipeRec{}
+	for _, r := range st.Pipes {
+		pipes[r.ID] = r
+	}
+	books := map[int]bookingRec{}
+	for _, r := range st.Bookings {
+		books[r.ID] = r
+	}
+	for _, e := range entries {
+		if e.Kind != recKindCommit {
+			return st, fmt.Errorf("core: unknown journal record kind %q at seq %d", e.Kind, e.Seq)
+		}
+		var rec commitRec
+		if err := json.Unmarshal(e.Data, &rec); err != nil {
+			return st, fmt.Errorf("core: corrupt commit record at seq %d: %w", e.Seq, err)
+		}
+		st.Now = rec.Now
+		st.NextConn = rec.NextConn
+		st.LpSeq = rec.LpSeq
+		st.NextBooking = rec.NextBooking
+		st.NextPipe = rec.NextPipe
+		for _, r := range rec.Conns {
+			conns[r.ID] = r
+		}
+		for _, r := range rec.Pipes {
+			pipes[r.ID] = r
+		}
+		for _, id := range rec.DelPipes {
+			delete(pipes, id)
+		}
+		for _, r := range rec.Bookings {
+			books[r.ID] = r
+		}
+		if rec.DownLinks != nil {
+			st.DownLinks = *rec.DownLinks
+		}
+		if rec.Quotas != nil {
+			st.Quotas = *rec.Quotas
+		}
+	}
+	st.Conns = nil
+	for _, id := range sortedKeys(conns) {
+		st.Conns = append(st.Conns, conns[id])
+	}
+	st.Pipes = nil
+	for _, id := range sortedKeys(pipes) {
+		st.Pipes = append(st.Pipes, pipes[id])
+	}
+	st.Bookings = nil
+	bids := make([]int, 0, len(books))
+	for id := range books {
+		bids = append(bids, id)
+	}
+	sort.Ints(bids)
+	for _, id := range bids {
+		st.Bookings = append(st.Bookings, books[id])
+	}
+	return st, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReplayDurable folds a recovered snapshot+WAL and returns the canonical
+// clock-zeroed serialization, without building a controller — the pure-replay
+// reference the crash harness compares both the shadow and the rehydrated
+// controller against.
+func ReplayDurable(snapshot []byte, entries []journal.Entry) ([]byte, error) {
+	st, err := foldState(snapshot, entries)
+	if err != nil {
+		return nil, err
+	}
+	st.Now = 0
+	return json.Marshal(&st)
+}
+
+// commitSet names the entities one commit point touched.
+type commitSet struct {
+	reason   string
+	conns    []*Connection
+	pipes    []*otn.Pipe
+	delPipes []otn.PipeID
+	bookings []*Booking
+	links    bool // record the authoritative down-link set
+	quotas   bool // record the authoritative quota set
+}
+
+// journalCommit appends one commit record for cs and snapshots on cadence.
+// With no journal configured it is a no-op. Journal write failures are
+// surfaced as a counter and an audit-log event, never a crash: the network
+// keeps running on the in-memory database, as the paper's controller would.
+func (c *Controller) journalCommit(cs commitSet) {
+	if c.jrnl == nil {
+		return
+	}
+	rec := commitRec{
+		Reason:      cs.reason,
+		Now:         int64(c.k.Now()),
+		NextConn:    c.nextConn,
+		LpSeq:       c.lpSeq,
+		NextBooking: c.nextBooking,
+		NextPipe:    c.fabric.NextID(),
+	}
+	seenConn := map[ConnID]bool{}
+	for _, conn := range cs.conns {
+		if conn == nil || seenConn[conn.ID] {
+			continue
+		}
+		seenConn[conn.ID] = true
+		if r, ok := c.connRecOf(conn); ok {
+			rec.Conns = append(rec.Conns, r)
+		}
+	}
+	sort.Slice(rec.Conns, func(i, j int) bool { return rec.Conns[i].ID < rec.Conns[j].ID })
+	seenPipe := map[otn.PipeID]bool{}
+	for _, p := range cs.pipes {
+		if p == nil || seenPipe[p.ID()] {
+			continue
+		}
+		seenPipe[p.ID()] = true
+		if c.fabric.Pipe(p.ID()) == nil {
+			// Retired since the caller captured it.
+			rec.DelPipes = append(rec.DelPipes, string(p.ID()))
+			continue
+		}
+		rec.Pipes = append(rec.Pipes, c.pipeRecOf(p))
+	}
+	sort.Slice(rec.Pipes, func(i, j int) bool { return rec.Pipes[i].ID < rec.Pipes[j].ID })
+	for _, id := range cs.delPipes {
+		if !seenPipe[id] {
+			seenPipe[id] = true
+			rec.DelPipes = append(rec.DelPipes, string(id))
+		}
+	}
+	sort.Strings(rec.DelPipes)
+	for _, b := range cs.bookings {
+		rec.Bookings = append(rec.Bookings, bookingRecOf(b))
+	}
+	sort.Slice(rec.Bookings, func(i, j int) bool { return rec.Bookings[i].ID < rec.Bookings[j].ID })
+	if cs.links {
+		dl := c.downLinkRecs()
+		rec.DownLinks = &dl
+	}
+	if cs.quotas {
+		q := c.quotaRecs()
+		rec.Quotas = &q
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		c.ins.journalErrs.Inc()
+		c.log("", "journal-error", "encoding %s commit: %v", cs.reason, err)
+		return
+	}
+	if _, err := c.jrnl.Append(recKindCommit, data); err != nil {
+		c.ins.journalErrs.Inc()
+		c.log("", "journal-error", "appending %s commit: %v", cs.reason, err)
+		return
+	}
+	if c.snapshotEvery > 0 && c.jrnl.AppendsSinceSnapshot() >= c.snapshotEvery {
+		c.snapshotNow()
+	}
+}
+
+// snapshotNow writes a full state snapshot, resetting the WAL.
+func (c *Controller) snapshotNow() {
+	if c.jrnl == nil {
+		return
+	}
+	sp := c.tr.Start(obs.SpanRef{}, "journal:snapshot")
+	st := c.captureState()
+	data, err := json.Marshal(&st)
+	if err == nil {
+		err = c.jrnl.WriteSnapshot(data)
+	}
+	sp.EndErr(err)
+	if err != nil {
+		c.ins.journalErrs.Inc()
+		c.log("", "journal-error", "snapshot: %v", err)
+	}
+}

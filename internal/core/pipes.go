@@ -56,6 +56,18 @@ func (c *Controller) connectCircuit(conn *Connection, a, b topo.NodeID) (*sim.Jo
 		}).
 		// Reserve tributary slots (and a best-effort shared-mesh backup).
 		ThenDo(func() error {
+			// The path was found in an earlier kernel event; housekeeping may
+			// have retired one of its pipes in between (an idle pipe carries
+			// no hint that a setup intends to use it). Reserving on such a
+			// ghost would strand the circuit on a pipe whose wavelength is
+			// being torn down — re-resolve instead.
+			for _, p := range pipes {
+				if c.fabric.Pipe(p.ID()) == nil {
+					c.log(conn.ID, "pipe-stale", "pipe %s retired mid-setup, re-routing", p.ID())
+					pipes = nil
+					break
+				}
+			}
 			if pipes == nil {
 				p, err := c.fabric.FindPath(a, b, slots, nil)
 				if err != nil {
@@ -228,6 +240,7 @@ func (c *Controller) buildPipe(a, b topo.NodeID, level otn.Level) *sim.Job {
 		c.pipeCarrier[pipe.ID()] = carrier.ID
 		carrier.carries = pipe.ID()
 		c.log(carrier.ID, "pipe-up", "pipe %s in service (%v, %d slots)", pipe.ID(), level, pipe.TotalSlots())
+		c.journalCommit(commitSet{reason: "pipe-up", conns: []*Connection{carrier}, pipes: []*otn.Pipe{pipe}})
 		out.Complete(nil)
 	})
 	return out
@@ -273,6 +286,7 @@ func (c *Controller) ReclaimIdlePipes() (*sim.Job, int) {
 		delete(c.pipeCarrier, pipe.ID())
 		carrier.carries = ""
 		c.log(carrierID, "pipe-retire", "pipe %s idle, reclaiming its wavelength", pipe.ID())
+		c.journalCommit(commitSet{reason: "pipe-retire", conns: []*Connection{carrier}, delPipes: []otn.PipeID{pipe.ID()}})
 		job, err := c.Disconnect(CarrierCustomer, carrierID)
 		if err != nil {
 			continue

@@ -85,6 +85,7 @@ func (c *Controller) bridgeAndRoll(conn *Connection, avoid map[topo.LinkID]bool)
 			c.ins.rolls.Inc()
 			c.ins.rollHitSecs.ObserveDuration(hit)
 			c.log(conn.ID, "roll-done", "traffic on %s (hit %v)", bridge.route.Path, hit)
+			c.journalCommit(commitSet{reason: "roll", conns: []*Connection{conn}})
 			out.Complete(nil)
 		})
 	})
@@ -239,6 +240,7 @@ func (c *Controller) RevertProtect(cust inventory.Customer, id ConnID) (*sim.Job
 		conn.endOutage(c.k.Now())
 		conn.onProtect = false
 		c.log(id, "revert", "traffic back on working leg (hit %v)", hit)
+		c.journalCommit(commitSet{reason: "revert-protect", conns: []*Connection{conn}})
 		out.Complete(nil)
 	})
 	return out, nil

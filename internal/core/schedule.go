@@ -12,6 +12,8 @@ import (
 // it down again. The carrier gains exactly the planning visibility §4 asks
 // for.
 type Booking struct {
+	// ID is the controller-assigned booking number.
+	ID   int
 	Req  Request
 	At   sim.Time
 	Hold sim.Duration
@@ -20,9 +22,17 @@ type Booking struct {
 	Conns []*Connection
 	// SetupErr records a failed provisioning attempt.
 	SetupErr error
+	// CloseErr records the error (if any) hit while closing the window —
+	// a component whose Disconnect kept failing after retries.
+	CloseErr error
 	// Done completes when every component has been released (or setup
 	// failed).
 	Done *sim.Job
+
+	// phase tracks the booking through its lifecycle (persist.go).
+	phase int
+	// closeAt is when the window closes, fixed once setup completes.
+	closeAt sim.Time
 }
 
 // ScheduleConnect books req for a window starting at `at` and lasting `hold`.
@@ -49,17 +59,32 @@ func (c *Controller) ScheduleConnect(req Request, at sim.Time, hold sim.Duration
 		return nil, fmt.Errorf("core: non-positive hold %v", hold)
 	}
 
-	b := &Booking{Req: req, At: at, Hold: hold, Done: c.k.NewJob()}
-	c.k.At(at, func() { c.openBooking(b) })
+	b := &Booking{ID: c.nextBooking, Req: req, At: at, Hold: hold, Done: c.k.NewJob()}
+	c.nextBooking++
+	c.bookings[b.ID] = b
+	c.scheduleOpen(b)
 	c.log("", "booking", "%s %s->%s %v at %v for %v", req.Customer, req.From, req.To, req.Rate, at, hold)
+	c.journalCommit(commitSet{reason: "booking", bookings: []*Booking{b}})
 	return b, nil
+}
+
+// scheduleOpen arms the window-open timer; a booking whose start time has
+// already passed (recovery after an outage spanning it) opens immediately.
+func (c *Controller) scheduleOpen(b *Booking) {
+	if b.At.Before(c.k.Now()) {
+		c.k.Defer(func() { c.openBooking(b) })
+		return
+	}
+	c.k.At(b.At, func() { c.openBooking(b) })
 }
 
 func (c *Controller) openBooking(b *Booking) {
 	conns, job, err := c.ConnectComposite(b.Req)
 	if err != nil {
 		b.SetupErr = err
+		b.phase = bookingFailed
 		c.log("", "booking-blocked", "%s %s->%s %v: %v", b.Req.Customer, b.Req.From, b.Req.To, b.Req.Rate, err)
+		c.journalCommit(commitSet{reason: "booking-blocked", bookings: []*Booking{b}})
 		b.Done.Complete(err)
 		return
 	}
@@ -67,9 +92,30 @@ func (c *Controller) openBooking(b *Booking) {
 	job.OnDone(func(err error) {
 		if err != nil {
 			b.SetupErr = err
-			b.Done.Complete(err)
+			// One component failing must not strand the siblings that did
+			// come up: the window is dead, so release everything still
+			// holding resources before reporting the failure.
+			var tds []*sim.Job
+			for _, conn := range b.Conns {
+				if conn.State == StateReleased || conn.State == StateTearingDown {
+					continue
+				}
+				if j, derr := c.Disconnect(b.Req.Customer, conn.ID); derr == nil {
+					tds = append(tds, j)
+				}
+			}
+			sim.All(c.k, tds...).OnDone(func(error) {
+				b.phase = bookingFailed
+				c.log("", "booking-failed", "%s: setup failed, %d components released: %v",
+					b.Req.Customer, len(tds), err)
+				c.journalCommit(commitSet{reason: "booking-failed", bookings: []*Booking{b}})
+				b.Done.Complete(err)
+			})
 			return
 		}
+		b.phase = bookingOpen
+		b.closeAt = c.k.Now().Add(b.Hold)
+		c.journalCommit(commitSet{reason: "booking-open", bookings: []*Booking{b}})
 		c.k.After(b.Hold, func() { c.closeBooking(b) })
 	})
 }
@@ -77,14 +123,52 @@ func (c *Controller) openBooking(b *Booking) {
 func (c *Controller) closeBooking(b *Booking) {
 	var jobs []*sim.Job
 	for _, conn := range b.Conns {
-		if conn.State != StateActive && conn.State != StateDown {
-			continue
+		if conn.State == StateReleased || conn.State == StateTearingDown {
+			continue // already gone, or another teardown owns it
 		}
-		job, err := c.Disconnect(b.Req.Customer, conn.ID)
-		if err != nil {
-			continue
-		}
-		jobs = append(jobs, job)
+		jobs = append(jobs, c.closeBookingConn(b, conn))
 	}
-	sim.All(c.k, jobs...).OnDone(func(err error) { b.Done.Complete(err) })
+	sim.All(c.k, jobs...).OnDone(func(err error) {
+		b.phase = bookingClosed
+		b.CloseErr = err
+		if err != nil {
+			c.log("", "booking-close-failed", "%s: %v", b.Req.Customer, err)
+		}
+		c.journalCommit(commitSet{reason: "booking-close", bookings: []*Booking{b}})
+		b.Done.Complete(err)
+	})
+}
+
+// closeBookingConn releases one booking component, retrying synchronous
+// Disconnect refusals on the retry policy's backoff schedule. Every refusal
+// is counted and logged; if the policy is exhausted the error is surfaced
+// through the booking instead of being swallowed — a leaked connection bills
+// the customer for capacity they no longer want.
+func (c *Controller) closeBookingConn(b *Booking, conn *Connection) *sim.Job {
+	out := c.k.NewJob()
+	c.tryCloseBookingConn(b, conn, 1, c.retry.BaseBackoff, out)
+	return out
+}
+
+func (c *Controller) tryCloseBookingConn(b *Booking, conn *Connection, attempt int, backoff sim.Duration, out *sim.Job) {
+	if conn.State == StateReleased || conn.State == StateTearingDown {
+		out.Complete(nil) // released (or releasing) between attempts
+		return
+	}
+	job, err := c.Disconnect(b.Req.Customer, conn.ID)
+	if err == nil {
+		job.OnDone(func(err error) { out.Complete(err) })
+		return
+	}
+	c.ins.bookingCloseErrs.Inc()
+	c.log(conn.ID, "booking-close-error", "attempt %d: %v", attempt, err)
+	if attempt >= c.retry.MaxAttempts {
+		out.Complete(fmt.Errorf("core: closing booking %d component %s: %w", b.ID, conn.ID, err))
+		return
+	}
+	next := backoff * 2
+	if next > c.retry.MaxBackoff {
+		next = c.retry.MaxBackoff
+	}
+	c.k.After(backoff, func() { c.tryCloseBookingConn(b, conn, attempt+1, next, out) })
 }

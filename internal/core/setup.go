@@ -307,12 +307,16 @@ func (c *Controller) finishSetup(conn *Connection, err error) {
 		conn.opSpan.EndErr(err)
 		c.ins.setupFailed[conn.Layer].Inc()
 		c.log(conn.ID, "setup-failed", "%v", err)
+		pipes := touchedPipes(conn)
 		c.releaseConnResources(conn)
 		conn.State = StateReleased
+		conn.stable = StateReleased
 		conn.ReleasedAt = c.k.Now()
+		c.journalCommit(commitSet{reason: "setup-failed", conns: []*Connection{conn}, pipes: pipes})
 		return
 	}
 	conn.State = StateActive
+	conn.stable = StateActive
 	conn.ActiveAt = c.k.Now()
 	conn.metering = true
 	conn.meterAt = c.k.Now()
@@ -324,6 +328,15 @@ func (c *Controller) finishSetup(conn *Connection, err error) {
 		c.ins.setupSecs[conn.Layer].ObserveDuration(conn.SetupTime())
 	}
 	c.log(conn.ID, "active", "setup took %v", conn.SetupTime())
+	c.journalCommit(commitSet{reason: "setup", conns: []*Connection{conn}, pipes: touchedPipes(conn)})
+}
+
+// touchedPipes snapshots the pipes a connection's commit record must carry
+// alongside it (working path and shared backup), captured before any release
+// nils the slices.
+func touchedPipes(conn *Connection) []*otn.Pipe {
+	out := append([]*otn.Pipe(nil), conn.pipes...)
+	return append(out, conn.backup...)
 }
 
 // reserveLightpath finds a route and atomically reserves everything it needs.
@@ -657,11 +670,14 @@ func (c *Controller) Disconnect(cust inventory.Customer, id ConnID) (*sim.Job, e
 		conn.opSpan.EndErr(err)
 		c.ins.teardowns.Inc()
 		c.ins.teardownSecs.ObserveDuration(job.Elapsed())
+		pipes := touchedPipes(conn)
 		c.releaseConnResources(conn)
 		conn.endOutage(c.k.Now())
 		conn.State = StateReleased
+		conn.stable = StateReleased
 		conn.ReleasedAt = c.k.Now()
 		c.log(id, "released", "teardown took %v", job.Elapsed())
+		c.journalCommit(commitSet{reason: "teardown", conns: []*Connection{conn}, pipes: pipes})
 	})
 	return job, nil
 }
@@ -718,12 +734,18 @@ func (c *Controller) ConnectComposite(req Request) ([]*Connection, *sim.Job, err
 		conn, job, err := c.Connect(sub)
 		if err != nil {
 			// Unwind the components already launched.
+			var pipes []*otn.Pipe
 			for _, done := range conns {
 				done.State = StateTearingDown
+				pipes = append(pipes, touchedPipes(done)...)
 				c.releaseConnResources(done)
 				done.State = StateReleased
+				done.stable = StateReleased
 				done.ReleasedAt = c.k.Now()
 				c.log(done.ID, "released", "composite sibling failed")
+			}
+			if len(conns) > 0 {
+				c.journalCommit(commitSet{reason: "composite-unwind", conns: conns, pipes: pipes})
 			}
 			return nil, nil, fmt.Errorf("core: composite %v component %v: %w", req.Rate, rate, err)
 		}

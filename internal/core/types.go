@@ -134,6 +134,11 @@ type Connection struct {
 	Protect  Protection
 	State    State
 
+	// stable is the last committed lifecycle state — what the journal
+	// records while State is transiently Pending/Restoring/TearingDown.
+	// Maintained at every commit point (see persist.go).
+	stable State
+
 	// DWDM realization.
 	path *lightpath
 	// protect is the 1+1 standby lightpath.

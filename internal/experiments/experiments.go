@@ -81,6 +81,7 @@ var All = []Spec{
 	{ID: "trace", Paper: "extension: restoration timeline rebuilt from the span recorder", Run: Trace},
 	{ID: "scale", Paper: "§1 carrier scale: 64-node grid, a month of churn + failure storm", Run: Scale},
 	{ID: "chaos", Paper: "§2.2/§3 extension: fault-model soak with invariant audit", Run: Chaos},
+	{ID: "crashrec", Paper: "§2.2 extension: WAL crash injection with shadow-state diff", Run: CrashRec},
 }
 
 // Find returns the spec with the given ID.

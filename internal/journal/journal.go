@@ -1,0 +1,334 @@
+// Package journal is the controller's durability layer: an append-only,
+// checksummed write-ahead log of commit records plus periodic full snapshots,
+// stored side by side in one state directory. The paper's controller is built
+// around a resource & inventory database that outlives any single control
+// process (§2.2, Fig. 3); this package is that database's persistence engine.
+//
+// On-disk layout:
+//
+//	<dir>/wal.log      sequence of frames, one per committed operation
+//	<dir>/snapshot.db  a single frame holding the last full state snapshot
+//
+// Every frame is
+//
+//	u32 LE payload length | u32 LE CRC32 (IEEE) of payload | payload
+//
+// A write that is torn mid-frame — short header, short payload, or a payload
+// whose checksum does not match — invalidates that frame and everything after
+// it. Open detects the torn tail, truncates the log back to the last intact
+// frame, and reports how many bytes were discarded. A torn record is therefore
+// discarded whole: recovery never sees a half-applied operation.
+//
+// Snapshots are written atomically (temp file + fsync + rename) and stamped
+// with the WAL sequence number they cover. After a successful snapshot the WAL
+// is reset; if the process dies between the rename and the reset, replay
+// simply skips the WAL entries whose sequence numbers the snapshot already
+// covers.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.db"
+
+	frameHeader = 8
+	// maxFrame bounds a single record so a corrupt length field cannot make
+	// the reader attempt a multi-gigabyte allocation.
+	maxFrame = 64 << 20
+)
+
+// Entry is one recovered WAL record.
+type Entry struct {
+	// Seq is the record's position in the global append sequence. Sequence
+	// numbers survive snapshots: a snapshot taken at Seq=n causes entries
+	// with Seq<=n to be skipped on replay.
+	Seq uint64 `json:"seq"`
+	// Kind names the record type (e.g. "commit").
+	Kind string `json:"kind"`
+	// Data is the record payload, left raw for the caller to decode.
+	Data json.RawMessage `json:"data"`
+}
+
+// Options tunes a Store.
+type Options struct {
+	// Fsync forces a file sync after every append. Durability against OS
+	// crashes costs one fsync per commit; tests and simulations leave it off.
+	Fsync bool
+}
+
+// Stats counts the store's lifetime activity, including what Open recovered.
+type Stats struct {
+	Appends   uint64 // records appended this process
+	Bytes     uint64 // WAL bytes written this process
+	Fsyncs    uint64 // fsync calls issued
+	Snapshots uint64 // snapshots written this process
+	Replayed  int    // WAL entries recovered by Open
+	Skipped   int    // WAL entries Open discarded as covered by the snapshot
+	TornBytes int64  // bytes truncated from a torn WAL tail
+}
+
+// snapEnvelope wraps snapshot bytes with the WAL sequence they cover.
+type snapEnvelope struct {
+	Seq  uint64          `json:"seq"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Store is an open journal directory. It is not safe for concurrent use; the
+// controller is single-threaded under the simulation kernel.
+type Store struct {
+	dir      string
+	opts     Options
+	wal      *os.File
+	seq      uint64
+	snapSeq  uint64
+	snapData []byte
+	entries  []Entry
+	pending  int // appends since the last snapshot
+	stats    Stats
+	onAppend func(Entry)
+}
+
+// Open opens (creating if necessary) the journal in dir, loads the snapshot
+// if one exists, scans the WAL, and truncates any torn tail. The recovered
+// snapshot and entries are available via Recovered until the next snapshot.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.loadWAL(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) loadSnapshot() error {
+	raw, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	payload, n, err := readFrame(raw)
+	if err != nil {
+		return fmt.Errorf("journal: corrupt snapshot: %w", err)
+	}
+	if n != len(raw) {
+		return fmt.Errorf("journal: snapshot has %d trailing bytes", len(raw)-n)
+	}
+	var env snapEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return fmt.Errorf("journal: corrupt snapshot envelope: %w", err)
+	}
+	s.snapSeq = env.Seq
+	s.snapData = env.Data
+	s.seq = env.Seq
+	return nil
+}
+
+func (s *Store) loadWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	good := 0 // byte offset just past the last intact frame
+	for good < len(raw) {
+		payload, n, err := readFrame(raw[good:])
+		if err != nil {
+			break // torn tail: this frame and everything after is void
+		}
+		var e Entry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			break
+		}
+		good += n
+		if e.Seq <= s.snapSeq {
+			s.stats.Skipped++ // already folded into the snapshot
+			continue
+		}
+		s.entries = append(s.entries, e)
+		if e.Seq > s.seq {
+			s.seq = e.Seq
+		}
+	}
+	s.stats.Replayed = len(s.entries)
+	if good < len(raw) {
+		s.stats.TornBytes = int64(len(raw) - good)
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	s.wal = f
+	s.pending = len(s.entries)
+	return nil
+}
+
+// Recovered returns what Open found: the latest snapshot payload (nil if
+// none) and the WAL entries appended after it, in order.
+func (s *Store) Recovered() (snapshot []byte, entries []Entry) {
+	return s.snapData, s.entries
+}
+
+// HasState reports whether the directory held any durable state at Open.
+func (s *Store) HasState() bool {
+	return s.snapData != nil || len(s.entries) > 0
+}
+
+// Seq returns the sequence number of the last record written or recovered.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// AppendsSinceSnapshot returns how many WAL records the latest snapshot does
+// not cover — the caller's snapshot-cadence trigger.
+func (s *Store) AppendsSinceSnapshot() int { return s.pending }
+
+// SetOnAppend registers a hook that fires after every durable append. The
+// crash-injection harness uses it to capture shadow state at each sequence
+// point.
+func (s *Store) SetOnAppend(fn func(Entry)) { s.onAppend = fn }
+
+// Stats returns a copy of the store's counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Append writes one record to the WAL and returns its sequence number.
+func (s *Store) Append(kind string, data []byte) (uint64, error) {
+	if s.wal == nil {
+		return 0, fmt.Errorf("journal: store is closed")
+	}
+	e := Entry{Seq: s.seq + 1, Kind: kind, Data: data}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := s.wal.Write(frame); err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := s.wal.Sync(); err != nil {
+			return 0, fmt.Errorf("journal: %w", err)
+		}
+		s.stats.Fsyncs++
+	}
+	s.seq = e.Seq
+	s.pending++
+	s.stats.Appends++
+	s.stats.Bytes += uint64(len(frame))
+	if s.onAppend != nil {
+		s.onAppend(e)
+	}
+	return e.Seq, nil
+}
+
+// WriteSnapshot atomically replaces the snapshot with data, stamped with the
+// current sequence number, then resets the WAL. If the process dies between
+// the two steps, the stale WAL entries are skipped on the next Open because
+// their sequence numbers are covered by the snapshot.
+func (s *Store) WriteSnapshot(data []byte) error {
+	if s.wal == nil {
+		return fmt.Errorf("journal: store is closed")
+	}
+	env, err := json.Marshal(snapEnvelope{Seq: s.seq, Data: data})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	frame := appendFrame(nil, env)
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	s.stats.Fsyncs++
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	s.snapSeq = s.seq
+	s.snapData = append([]byte(nil), data...)
+	s.entries = nil
+	s.pending = 0
+	s.stats.Snapshots++
+	return nil
+}
+
+// Close closes the WAL file. The store is unusable afterwards.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// appendFrame appends one encoded frame for payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame decodes the frame at the start of b, returning its payload and
+// total encoded size. Any violation — short header, absurd length, short
+// payload, checksum mismatch — is an error: the frame is torn or corrupt.
+func readFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) < frameHeader {
+		return nil, 0, fmt.Errorf("short header: %d bytes", len(b))
+	}
+	size := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if size > maxFrame {
+		return nil, 0, fmt.Errorf("frame length %d exceeds limit", size)
+	}
+	if len(b) < frameHeader+int(size) {
+		return nil, 0, fmt.Errorf("short payload: want %d, have %d", size, len(b)-frameHeader)
+	}
+	payload = b[frameHeader : frameHeader+int(size)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, fmt.Errorf("checksum mismatch")
+	}
+	return payload, frameHeader + int(size), nil
+}

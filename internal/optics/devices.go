@@ -98,6 +98,20 @@ func (b *OTBank) Alloc(rate bw.Rate) (*OT, error) {
 	return nil, fmt.Errorf("optics: no free OT at %s for rate %v", b.node, rate)
 }
 
+// Take allocates the free transponder with exactly the given ID. Recovery
+// uses it to re-pin the same device a journaled connection held, so the
+// rebuilt pool is indistinguishable from the one the crashed process lost.
+func (b *OTBank) Take(id string) (*OT, error) {
+	for i, ot := range b.pool.free {
+		if ot.ID == id {
+			b.pool.free = append(b.pool.free[:i], b.pool.free[i+1:]...)
+			b.pool.inUse[ot.ID] = ot
+			return ot, nil
+		}
+	}
+	return nil, fmt.Errorf("optics: OT %s is not free at %s", id, b.node)
+}
+
 // Release returns a transponder to the pool. Releasing an unknown or already
 // free OT is an error.
 func (b *OTBank) Release(ot *OT) error {
@@ -155,6 +169,19 @@ func (b *RegenBank) Alloc(rate bw.Rate) (*Regen, error) {
 		}
 	}
 	return nil, fmt.Errorf("optics: no free regen at %s for rate %v", b.node, rate)
+}
+
+// Take allocates the free regenerator with exactly the given ID; the
+// recovery analogue of OTBank.Take.
+func (b *RegenBank) Take(id string) (*Regen, error) {
+	for i, rg := range b.pool.free {
+		if rg.ID == id {
+			b.pool.free = append(b.pool.free[:i], b.pool.free[i+1:]...)
+			b.pool.inUse[rg.ID] = rg
+			return rg, nil
+		}
+	}
+	return nil, fmt.Errorf("optics: regen %s is not free at %s", id, b.node)
 }
 
 // Release returns a regenerator to the pool.

@@ -76,6 +76,39 @@ func (f *Fabric) AddPipe(a, b topo.NodeID, level Level) (*Pipe, error) {
 	return p, nil
 }
 
+// RestorePipe registers a pipe rebuilt from the journal under its original
+// ID, bypassing ID generation. Both endpoints must host switches and the ID
+// must be unused.
+func (f *Fabric) RestorePipe(p *Pipe) error {
+	if p == nil {
+		return fmt.Errorf("otn: restoring nil pipe")
+	}
+	if !f.switches[p.a] {
+		return fmt.Errorf("otn: no OTN switch at %s", p.a)
+	}
+	if !f.switches[p.b] {
+		return fmt.Errorf("otn: no OTN switch at %s", p.b)
+	}
+	if _, dup := f.pipes[p.id]; dup {
+		return fmt.Errorf("otn: pipe %s already exists", p.id)
+	}
+	f.pipes[p.id] = p
+	f.adj[p.a] = append(f.adj[p.a], p)
+	f.adj[p.b] = append(f.adj[p.b], p)
+	return nil
+}
+
+// NextID returns the pipe ID generation counter.
+func (f *Fabric) NextID() int { return f.nextID }
+
+// SetNextID fast-forwards the ID generation counter during recovery so new
+// pipes never collide with journaled ones.
+func (f *Fabric) SetNextID(n int) {
+	if n > f.nextID {
+		f.nextID = n
+	}
+}
+
 // RemovePipe retires a pipe. It fails if the pipe still carries circuits or
 // shared reservations — retiring live capacity would silently drop traffic.
 func (f *Fabric) RemovePipe(id PipeID) error {

@@ -196,6 +196,19 @@ func (p *Pipe) ReleaseShared(owner string) error {
 	return nil
 }
 
+// RestorePipe reconstructs a journaled pipe: identity, level and operational
+// flag. Slot occupancy is not part of the pipe record — recovery re-reserves
+// slots from the committed connection records, the authoritative ownership
+// statement.
+func RestorePipe(id PipeID, a, b topo.NodeID, level Level, up bool) (*Pipe, error) {
+	p, err := NewPipe(id, a, b, level)
+	if err != nil {
+		return nil, err
+	}
+	p.up = up
+	return p, nil
+}
+
 // Owners returns the distinct owners holding tributary slots, sorted — the
 // enumeration invariant auditors sweep.
 func (p *Pipe) Owners() []string {
