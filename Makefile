@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint cover bench profile reproduce examples daemon trace clean
+.PHONY: all build test vet lint cover bench profile reproduce examples daemon trace latency clean
 
 all: build test
 
@@ -49,6 +49,11 @@ examples:
 # The customer-GUI backend on :8580 (drive it with griphonctl).
 daemon:
 	$(GO) run ./cmd/griphond
+
+# Regenerate the setup-latency before/after distributions (BENCH_PR6.json):
+# serial choreography vs graph + path cache + pre-arm, per service class.
+latency:
+	$(GO) run ./cmd/griphon-bench -latency 120
 
 # Record a setup -> cut -> restore demo trace; load trace.json in
 # ui.perfetto.dev or chrome://tracing to see the EMS step ladder.

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"griphon/internal/experiments"
+)
+
+// runLatencyBench runs the setup-latency benchmark and writes the JSON report
+// CI commits as the regression baseline.
+func runLatencyBench(seed int64, iters int, out string) error {
+	rep, err := experiments.LatencyBench(seed, iters)
+	if err != nil {
+		return err
+	}
+	for _, name := range sortedClasses(rep) {
+		c := rep.Classes[name]
+		fmt.Printf("%-12s serial p50=%.1fs p95=%.1fs p99=%.1fs | fast p50=%.1fs p95=%.1fs p99=%.1fs (%.2fx)\n",
+			name, c.Baseline.P50, c.Baseline.P95, c.Baseline.P99,
+			c.Fast.P50, c.Fast.P95, c.Fast.P99, c.SpeedupP50)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (seed %d, %d setups per class per mode)\n", out, seed, iters)
+	return nil
+}
+
+// runLatencyGate re-runs the benchmark at the committed baseline's seed and
+// iteration count and fails if any class's fast-mode p95 regressed beyond the
+// tolerance.
+func runLatencyGate(path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want experiments.LatencyReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(want.Classes) == 0 || want.Iters <= 0 {
+		return fmt.Errorf("%s holds no classes or a non-positive iteration count", path)
+	}
+	got, err := experiments.LatencyBench(want.Seed, want.Iters)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, name := range sortedClasses(want) {
+		w := want.Classes[name]
+		g, ok := got.Classes[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("class %s missing from the re-run", name))
+			continue
+		}
+		limit := w.Fast.P95 * (1 + tol)
+		status := "ok"
+		if g.Fast.P95 > limit {
+			status = "REGRESSED"
+			violations = append(violations,
+				fmt.Sprintf("%s fast p95 %.1fs exceeds committed %.1fs by more than %.0f%%", name, g.Fast.P95, w.Fast.P95, tol*100))
+		}
+		fmt.Printf("%-12s fast p95 %.1fs vs committed %.1fs (limit %.1fs): %s\n", name, g.Fast.P95, w.Fast.P95, limit, status)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d regression(s): %v", len(violations), violations)
+	}
+	return nil
+}
+
+func sortedClasses(rep experiments.LatencyReport) []string {
+	names := make([]string, 0, len(rep.Classes))
+	for name := range rep.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -11,6 +11,8 @@
 //	griphon-bench -trace trace.json   # record a setup→cut→restore demo trace
 //	griphon-bench -chaos 2000         # chaos soak: N randomized ops under the fault model
 //	griphon-bench -crash 50           # crash-recovery soak: N random WAL truncations
+//	griphon-bench -latency 120        # setup-latency benchmark: write BENCH_PR6.json
+//	griphon-bench -latency-gate BENCH_PR6.json   # fail on fast-mode p95 regression
 package main
 
 import (
@@ -33,7 +35,28 @@ func main() {
 	traceOut := flag.String("trace", "", "record a scripted setup→cut→restore demo and write its Chrome trace to this file")
 	chaos := flag.Int("chaos", 0, "run the chaos soak with this many randomized operations and exit")
 	crash := flag.Int("crash", 0, "run the crash-recovery soak with this many WAL truncation trials and exit")
+	latency := flag.Int("latency", 0, "run the setup-latency benchmark with this many setups per class and write the JSON report")
+	latencyOut := flag.String("latency-out", "BENCH_PR6.json", "where -latency writes the JSON report")
+	latencyGate := flag.String("latency-gate", "", "re-run the latency benchmark at this committed baseline's seed/iters and fail on p95 regression")
+	latencyTol := flag.Float64("latency-tol", 0.10, "relative tolerance for the -latency-gate p95 comparison")
 	flag.Parse()
+
+	if *latencyGate != "" {
+		if err := runLatencyGate(*latencyGate, *latencyTol); err != nil {
+			fmt.Fprintln(os.Stderr, "latency-gate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("latency gate passed against %s (tolerance %.0f%%)\n", *latencyGate, *latencyTol*100)
+		return
+	}
+
+	if *latency > 0 {
+		if err := runLatencyBench(*seed, *latency, *latencyOut); err != nil {
+			fmt.Fprintln(os.Stderr, "latency:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *crash > 0 {
 		res, err := experiments.CrashRecN(*seed, *crash)

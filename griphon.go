@@ -127,6 +127,21 @@ func WithTracing() Option {
 	return func(c *config) { c.tracing = true }
 }
 
+// WithFastSetup turns on the low-latency setup machinery: the dependency-graph
+// EMS choreography (independent steps run concurrently instead of in the
+// paper's serial ladder), a path cache for repeat customers (invalidated on
+// any topology or link-state change), and speculative pre-arming — a warm
+// pool of two pre-tuned transponders per PoP and two pre-opened EMS sessions,
+// re-armed in the background after each claim. Roughly halves wavelength
+// setup latency on the testbed; see DESIGN.md §12.
+func WithFastSetup() Option {
+	return func(c *config) {
+		c.core.Choreography = core.ChoreoGraph
+		c.core.PathCache = true
+		c.core.PreArm = core.PreArm{WarmOTsPerNode: 2, WarmSessions: 2}
+	}
+}
+
 // WithStateDir makes the controller's state durable in dir: every committed
 // operation is appended to a checksummed write-ahead log with periodic full
 // snapshots. If dir already holds state from a previous run, New recovers it —

@@ -36,6 +36,26 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestFastSetupViaFacade: WithFastSetup roughly halves the quickstart's
+// wavelength setup time and leaves the resource books balanced.
+func TestFastSetupViaFacade(t *testing.T) {
+	n := newNet(t, WithSeed(42), WithFastSetup())
+	conn, err := n.Connect("acme", "DC-A", "DC-C", Rate10G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := conn.SetupTime(); st > 35*time.Second {
+		t.Errorf("fast setup = %v, want well under the ~62 s serial baseline", st)
+	}
+	if err := n.Disconnect("acme", conn.ID); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Active != 0 || s.ChannelsInUse != 0 {
+		t.Errorf("leak after disconnect: %+v", s)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil); err == nil {
 		t.Error("nil topology accepted")

@@ -19,6 +19,10 @@ func TestWallclock(t *testing.T) {
 	// The durable state store does real file I/O but earns no clock
 	// exemption: journal records carry virtual time or replay diverges.
 	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/journal", "griphon/internal/journal/fixture")
+	// sim.Graph node closures run on the virtual clock; choreography code
+	// (which lives outside the sim exemption) must not smuggle the host
+	// clock into a node body.
+	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/graph", "griphon/internal/core/fixture")
 }
 
 func TestSpanpair(t *testing.T) {

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"griphon/internal/ems"
+	"griphon/internal/obs"
+	"griphon/internal/sim"
+)
+
+// Choreography selects how a lightpath's EMS work is ordered
+// (Config.Choreography).
+type Choreography int
+
+const (
+	// ChoreoSerial reproduces the paper's fully serialized choreography —
+	// every EMS step waits for the previous one, which is where the 60–70 s
+	// setup times come from. It is the default so the Table 2 calibration
+	// holds unless a deployment opts in to the fast path.
+	ChoreoSerial Choreography = iota
+	// ChoreoGraph runs the dependency-graph choreography: only real
+	// happens-before constraints are kept (see graphSetupJob), so
+	// independent elements configure concurrently and setup latency drops
+	// to the critical path.
+	ChoreoGraph
+)
+
+func (ch Choreography) String() string {
+	switch ch {
+	case ChoreoSerial:
+		return "serial"
+	case ChoreoGraph:
+		return "graph"
+	}
+	return fmt.Sprintf("Choreography(%d)", int(ch))
+}
+
+// lightpathSetupJob runs the EMS choreography for one lightpath and returns
+// the job completing when light is verified end to end. Both choreographies
+// are built on sim.Graph; they differ only in which edges they declare.
+// Every EMS step is wrapped in the retry policy, sharing one backoff budget
+// for the whole choreography; the commands are pure latency (no Apply), so a
+// resubmitted step re-runs the vendor dialogue without double-mutating state.
+func (c *Controller) lightpathSetupJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
+	if c.choreo == ChoreoGraph {
+		return c.graphSetupJob(lp, parent)
+	}
+	return c.serialSetupJob(lp, parent)
+}
+
+// lightpathTeardownJob runs the EMS choreography for releasing a lightpath
+// (paper §3: "around 10 seconds"; the graph choreography halves that).
+func (c *Controller) lightpathTeardownJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
+	if c.choreo == ChoreoGraph {
+		return c.graphTeardownJob(lp, parent)
+	}
+	return c.serialTeardownJob(lp, parent)
+}
+
+// overheadNode is the choreography root: the controller's own admission /
+// path-computation / database time. A cache-hit lightpath pays the (much
+// smaller) cached overhead — the route came out of the path cache instead of
+// a fresh K-shortest search.
+func (c *Controller) overheadNode(lp *lightpath, sp obs.SpanRef) func() *sim.Job {
+	return func() *sim.Job {
+		d := c.lat.ControllerOverhead
+		if lp.cached && c.lat.ControllerOverheadCached > 0 {
+			d = c.lat.ControllerOverheadCached
+		}
+		osp := c.tr.Start(sp, "controller-overhead")
+		j := c.k.AfterJob(c.jit(d), nil)
+		j.OnDone(func(err error) { osp.EndErr(err) })
+		return j
+	}
+}
+
+// serialSetupJob is the paper-faithful choreography as a linear chain:
+// controller overhead, FXC A, FXC B, then one serialized ROADM-EMS batch. A
+// linear sim.Graph chain is event-for-event identical to the sim.Sequence
+// this replaces — jitter draws stay lazy inside each node, in the same order.
+func (c *Controller) serialSetupJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
+	path := lp.route.Path
+	a, b := path.Src(), path.Dst()
+	hops := path.Hops()
+	sp := c.tr.Start(parent, "lightpath:setup")
+	bud := &opBudget{}
+	claim := c.claimWarm(a, b)
+
+	g := sim.NewGraph(c.k)
+	overhead := g.Node("controller-overhead", c.overheadNode(lp, sp))
+	fxcA := g.Node("fxc-connect:a", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+		})
+	})
+	fxcB := g.Node("fxc-connect:b", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+		})
+	})
+	batch := g.Node("roadm-batch", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			var cmds []ems.Command
+			if !claim.session {
+				cmds = append(cmds, ems.Command{Name: "ems-session", Dur: c.jit(c.lat.EMSSession), Span: sp})
+			}
+			cmds = append(cmds,
+				ems.Command{Name: "add-drop:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
+				ems.Command{Name: "add-drop:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
+			)
+			for _, n := range path.Intermediate() {
+				cmds = append(cmds, ems.Command{Name: "express:" + string(n), Dur: c.jit(c.lat.ROADMExpress), Span: sp})
+			}
+			for _, rg := range lp.regens {
+				cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Dur: c.jit(c.lat.RegenConfig), Span: sp})
+			}
+			if d := laserTuneFor(claim, c.lat.LaserTune); d > 0 {
+				cmds = append(cmds, ems.Command{Name: "laser-tune", Dur: c.jit(d), Span: sp})
+			}
+			for i := 0; i < hops; i++ {
+				cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Dur: c.jit(c.lat.PowerBalancePerHop), Span: sp})
+			}
+			cmds = append(cmds,
+				ems.Command{Name: "link-equalize", Dur: c.jit(c.lat.LinkEqualize), Span: sp},
+				ems.Command{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: sp},
+			)
+			return c.roadmEMS.SubmitBatch(cmds)
+		})
+	})
+	g.Edge(overhead, fxcA)
+	g.Edge(fxcA, fxcB)
+	g.Edge(fxcB, batch)
+	job := g.Go()
+	job.OnDone(func(err error) { sp.EndErr(err) })
+	return job
+}
+
+// laserTuneFor scales laser-tune work by the warm-transponder claim: each
+// warm end already sits on the assigned wavelength, so two warm ends need no
+// tuning at all and one warm end needs half.
+func laserTuneFor(claim warmClaim, full sim.Duration) sim.Duration {
+	switch claim.warmEnds {
+	case 0:
+		return full
+	case 1:
+		return full / 2
+	default:
+		return 0
+	}
+}
+
+// graphSetupJob encodes only the real happens-before constraints of a
+// wavelength setup:
+//
+//	overhead ─┬─ fxc-connect:a ──────────────────────────┐
+//	          ├─ fxc-connect:b ──────────────────────────┤
+//	          └─ ems-session ─┬─ elements (batch) ─┐     │
+//	                          └─ laser-tune ───────┴─ power ─ equalize ─ verify
+//
+// Both FXC connects run concurrently (separate per-PoP controllers); the
+// per-element ROADM configuration is one atomic SubmitBatch whose commands
+// land on per-element lanes, so independent ROADMs configure concurrently;
+// laser tuning overlaps element configuration; and only the optical chain —
+// per-hop power balance, link equalization, end-to-end verification — stays
+// ordered, serialized on the EMS's optical lane. Warm claims shrink the
+// critical path further: a pre-opened session turns the session node into an
+// instantaneous barrier, warm transponders shrink or remove laser-tune.
+func (c *Controller) graphSetupJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
+	path := lp.route.Path
+	a, b := path.Src(), path.Dst()
+	hops := path.Hops()
+	sp := c.tr.Start(parent, "lightpath:setup")
+	bud := &opBudget{}
+	claim := c.claimWarm(a, b)
+
+	g := sim.NewGraph(c.k)
+	overhead := g.Node("controller-overhead", c.overheadNode(lp, sp))
+	fxcA := g.Node("fxc-connect:a", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+		})
+	})
+	fxcB := g.Node("fxc-connect:b", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
+		})
+	})
+	var session sim.NodeID
+	if claim.session {
+		// Pre-opened session claimed from the warm pool: nothing to wait
+		// for, but the barrier keeps the dependency structure uniform.
+		session = g.Node("ems-session:warm", nil)
+	} else {
+		session = g.Node("ems-session", func() *sim.Job {
+			return c.retrying(sp, bud, func() *sim.Job {
+				return c.roadmEMS.Submit(ems.Command{Name: "ems-session", Elem: "session", Dur: c.jit(c.lat.EMSSession), Span: sp})
+			})
+		})
+	}
+	elements := g.Node("elements", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			cmds := []ems.Command{
+				{Name: "add-drop:" + string(a), Elem: "roadm:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
+				{Name: "add-drop:" + string(b), Elem: "roadm:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
+			}
+			for _, n := range path.Intermediate() {
+				cmds = append(cmds, ems.Command{Name: "express:" + string(n), Elem: "roadm:" + string(n), Dur: c.jit(c.lat.ROADMExpress), Span: sp})
+			}
+			for _, rg := range lp.regens {
+				cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Elem: "roadm:" + string(rg.Node), Dur: c.jit(c.lat.RegenConfig), Span: sp})
+			}
+			return c.roadmEMS.SubmitBatch(cmds)
+		})
+	})
+	var laser sim.NodeID
+	if d := laserTuneFor(claim, c.lat.LaserTune); d > 0 {
+		laser = g.Node("laser-tune", func() *sim.Job {
+			return c.retrying(sp, bud, func() *sim.Job {
+				return c.roadmEMS.Submit(ems.Command{Name: "laser-tune", Elem: "laser", Dur: c.jit(d), Span: sp})
+			})
+		})
+	} else {
+		laser = g.Node("laser-tune:warm", nil)
+	}
+	power := g.Node("power-balance", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			cmds := make([]ems.Command, 0, hops)
+			for i := 0; i < hops; i++ {
+				cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Elem: "optical", Dur: c.jit(c.lat.PowerBalancePerHop), Span: sp})
+			}
+			return c.roadmEMS.SubmitBatch(cmds)
+		})
+	})
+	equalize := g.Node("link-equalize", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.roadmEMS.Submit(ems.Command{Name: "link-equalize", Elem: "optical", Dur: c.jit(c.lat.LinkEqualize), Span: sp})
+		})
+	})
+	verify := g.Node("verify", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.roadmEMS.Submit(ems.Command{Name: "verify", Elem: "optical", Dur: c.jit(c.lat.VerifyEndToEnd), Span: sp})
+		})
+	})
+
+	g.Edge(overhead, fxcA)
+	g.Edge(overhead, fxcB)
+	g.Edge(overhead, session)
+	g.Edge(session, elements)
+	g.Edge(session, laser)
+	g.Edge(elements, power)
+	g.Edge(laser, power)
+	g.Edge(power, equalize)
+	g.Edge(equalize, verify)
+	// Verification needs light end to end: the client-side FXC mappings
+	// must be in place too.
+	g.Edge(fxcA, verify)
+	g.Edge(fxcB, verify)
+
+	job := g.Go()
+	job.OnDone(func(err error) { sp.EndErr(err) })
+	return job
+}
+
+// serialTeardownJob is the paper-faithful teardown as a linear chain.
+func (c *Controller) serialTeardownJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
+	path := lp.route.Path
+	a, b := path.Src(), path.Dst()
+	sp := c.tr.Start(parent, "lightpath:teardown")
+	bud := &opBudget{}
+
+	g := sim.NewGraph(c.k)
+	ctl := g.Node("teardown-controller", func() *sim.Job {
+		return c.k.AfterJob(c.jit(c.lat.TeardownController), nil)
+	})
+	fxcA := g.Node("fxc-disconnect:a", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+		})
+	})
+	fxcB := g.Node("fxc-disconnect:b", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+		})
+	})
+	batch := g.Node("roadm-release", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.roadmEMS.SubmitBatch([]ems.Command{
+				{Name: "teardown-session", Dur: c.jit(c.lat.TeardownEMSSession), Span: sp},
+				{Name: "release:" + string(a), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+				{Name: "release:" + string(b), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+			})
+		})
+	})
+	g.Edge(ctl, fxcA)
+	g.Edge(fxcA, fxcB)
+	g.Edge(fxcB, batch)
+	job := g.Go()
+	job.OnDone(func(err error) { sp.EndErr(err) })
+	return job
+}
+
+// graphTeardownJob releases a lightpath with only the real constraints: both
+// FXC disconnects and the teardown session run concurrently after the
+// controller's bookkeeping, and the per-end ROADM releases run concurrently
+// (per-element lanes) once the session is up.
+func (c *Controller) graphTeardownJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
+	path := lp.route.Path
+	a, b := path.Src(), path.Dst()
+	sp := c.tr.Start(parent, "lightpath:teardown")
+	bud := &opBudget{}
+
+	g := sim.NewGraph(c.k)
+	ctl := g.Node("teardown-controller", func() *sim.Job {
+		return c.k.AfterJob(c.jit(c.lat.TeardownController), nil)
+	})
+	fxcA := g.Node("fxc-disconnect:a", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+		})
+	})
+	fxcB := g.Node("fxc-disconnect:b", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
+		})
+	})
+	session := g.Node("teardown-session", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.roadmEMS.Submit(ems.Command{Name: "teardown-session", Elem: "session", Dur: c.jit(c.lat.TeardownEMSSession), Span: sp})
+		})
+	})
+	releases := g.Node("roadm-release", func() *sim.Job {
+		return c.retrying(sp, bud, func() *sim.Job {
+			return c.roadmEMS.SubmitBatch([]ems.Command{
+				{Name: "release:" + string(a), Elem: "roadm:" + string(a), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+				{Name: "release:" + string(b), Elem: "roadm:" + string(b), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
+			})
+		})
+	})
+	g.Edge(ctl, fxcA)
+	g.Edge(ctl, fxcB)
+	g.Edge(ctl, session)
+	g.Edge(session, releases)
+	job := g.Go()
+	job.OnDone(func(err error) { sp.EndErr(err) })
+	return job
+}

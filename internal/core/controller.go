@@ -54,6 +54,19 @@ type Config struct {
 	// Retry bounds transient-fault retries of EMS steps. Nil takes
 	// DefaultRetryPolicy; a policy with MaxAttempts 1 disables retries.
 	Retry *RetryPolicy
+	// Choreography selects how lightpath EMS work is ordered: ChoreoSerial
+	// (the default) reproduces the paper's fully serialized steps and its
+	// 60–70 s setup times; ChoreoGraph keeps only real happens-before
+	// constraints, cutting setup to the critical path.
+	Choreography Choreography
+	// PathCache caches computed routes by (src, dst, rate, protection),
+	// flushed on every link-state or topology change; a hit skips the
+	// K-shortest search and pays the reduced cached controller overhead.
+	PathCache bool
+	// PreArm sizes the speculative warm pools — pre-opened EMS sessions and
+	// pre-tuned spare transponders per PoP — claimed at setup time and
+	// refilled in the background. The zero value disables pre-arming.
+	PreArm PreArm
 	// DegradeToOTN lets a 10G full-wavelength request degrade to a groomed
 	// OTN sub-wavelength circuit when the DWDM layer cannot deliver it —
 	// no route or wavelength at admission, or persistent EMS failures on
@@ -112,6 +125,10 @@ type Controller struct {
 	retry        RetryPolicy
 	faultModel   *faults.Model
 	degradeToOTN bool
+
+	choreo Choreography
+	pcache *pathCache
+	prearm *prearmPools
 
 	events []Event
 
@@ -193,8 +210,18 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		pipeCarrier:  make(map[otn.PipeID]ConnID),
 		pendingPipes: make(map[string]*sim.Job),
 		degradeToOTN: cfg.DegradeToOTN,
+		choreo:       cfg.Choreography,
 		tr:           cfg.Tracer,
 		reg:          cfg.Metrics,
+	}
+	if cfg.PathCache {
+		c.pcache = &pathCache{entries: make(map[pathKey]pathEntry), version: g.Version()}
+		// Any link-state change — cut or restore — invalidates every cached
+		// route: restores make cached detours stale too.
+		plant.SetOnLinkState(func(topo.LinkID, bool) { c.pcacheFlush() })
+	}
+	if cfg.PreArm.enabled() {
+		c.prearm = newPrearmPools(cfg.PreArm, g)
 	}
 	if c.reg == nil {
 		c.reg = obs.NewRegistry()
@@ -275,6 +302,9 @@ func (c *Controller) FaultModel() *faults.Model { return c.faultModel }
 
 // Retry returns the retry policy in force.
 func (c *Controller) Retry() RetryPolicy { return c.retry }
+
+// SetupChoreography returns the choreography mode in force.
+func (c *Controller) SetupChoreography() Choreography { return c.choreo }
 
 // Latencies returns the EMS latency table in force.
 func (c *Controller) Latencies() ems.Latencies { return c.lat }

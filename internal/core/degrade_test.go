@@ -50,8 +50,10 @@ func TestSetupDegradesToGroomedCircuit(t *testing.T) {
 	if got := metricValue(t, c, "griphon_setup_degraded_total", `mode="groomed"`); got != 1 {
 		t.Errorf("groomed metric = %v, want 1", got)
 	}
-	if got := metricValue(t, c, "griphon_setup_degraded_total", `mode="reroute"`); got != wavelengthAlternates {
-		t.Errorf("reroute metric = %v, want %d before grooming", got, wavelengthAlternates)
+	// Cumulative avoidance leaves a single viable alternate before the
+	// grooming rung (see TestRerouteAvoidAccumulates).
+	if got := metricValue(t, c, "griphon_setup_degraded_total", `mode="reroute"`); got != 1 {
+		t.Errorf("reroute metric = %v, want 1 before grooming", got)
 	}
 	auditClean(t, c)
 }

@@ -427,7 +427,7 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 		avoid[l] = true
 	}
 	a, b := old.route.Path.Src(), old.route.Path.Dst()
-	newlp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, old, false, conn.phaseSpan)
+	newlp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, conn.Protect, avoid, old, false, conn.phaseSpan)
 	if err != nil {
 		conn.phaseSpan.EndOutcome("blocked")
 		conn.opSpan.EndOutcome("blocked")

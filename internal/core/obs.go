@@ -36,6 +36,14 @@ type instruments struct {
 	setupGroomed     *obs.Counter
 	bookingCloseErrs *obs.Counter
 	journalErrs      *obs.Counter
+
+	pathcacheHits          *obs.Counter
+	pathcacheMisses        *obs.Counter
+	pathcacheInvalidations *obs.Counter
+	prearmClaimsSession    *obs.Counter
+	prearmClaimsOT         *obs.Counter
+	prearmRearmOK          *obs.Counter
+	prearmRearmFailed      *obs.Counter
 }
 
 // Tracer returns the controller's tracer (nil when tracing is disabled).
@@ -98,6 +106,20 @@ func (c *Controller) initObs() {
 		"Disconnect errors hit while closing booking windows (including retried ones).")
 	c.ins.journalErrs = r.Counter("griphon_journal_errors_total",
 		"Journal writes that failed; the controller keeps running on memory.")
+	c.ins.pathcacheHits = r.Counter("griphon_pathcache_lookups_total",
+		"Path-cache lookups on cache-eligible route requests, by result.", "result", "hit")
+	c.ins.pathcacheMisses = r.Counter("griphon_pathcache_lookups_total",
+		"Path-cache lookups on cache-eligible route requests, by result.", "result", "miss")
+	c.ins.pathcacheInvalidations = r.Counter("griphon_pathcache_invalidations_total",
+		"Path-cache flushes triggered by link-state or topology changes.")
+	c.ins.prearmClaimsSession = r.Counter("griphon_prearm_claims_total",
+		"Warm resources claimed by setups, by kind.", "kind", "session")
+	c.ins.prearmClaimsOT = r.Counter("griphon_prearm_claims_total",
+		"Warm resources claimed by setups, by kind.", "kind", "transponder")
+	c.ins.prearmRearmOK = r.Counter("griphon_prearm_rearms_total",
+		"Background warm-pool refills, by outcome.", "outcome", "ok")
+	c.ins.prearmRearmFailed = r.Counter("griphon_prearm_rearms_total",
+		"Background warm-pool refills, by outcome.", "outcome", "failed")
 	if c.jrnl != nil {
 		r.CounterFunc("griphon_journal_appends_total", "WAL records appended.",
 			func() float64 { return float64(c.jrnl.Stats().Appends) })

@@ -214,7 +214,7 @@ func (c *Controller) buildPipe(a, b topo.NodeID, level otn.Level) *sim.Job {
 
 	// Carrier wavelengths terminate on OTN switch line cards, not on
 	// customer FXC client ports, so no FXC pair is taken.
-	lp, err := c.reserveLightpath(carrier.ID, a, b, rate, nil, nil, false, carrier.opSpan)
+	lp, err := c.reserveLightpath(carrier.ID, a, b, rate, carrier.Protect, nil, nil, false, carrier.opSpan)
 	if err != nil {
 		carrier.opSpan.EndErr(err)
 		adm.Rollback()

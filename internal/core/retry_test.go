@@ -88,8 +88,11 @@ func TestPersistentFaultsExhaustAllRoutes(t *testing.T) {
 	if job.Err() == nil {
 		t.Fatal("setup succeeded despite persistent faults on every route")
 	}
-	if got := metricValue(t, c, "griphon_setup_degraded_total", `mode="reroute"`); got != wavelengthAlternates {
-		t.Errorf("reroute metric = %v, want %d (every alternate tried)", got, wavelengthAlternates)
+	// Cumulative avoidance: after I-IV and I-III-IV fail, every remaining
+	// candidate reuses a poisoned link, so only one reroute is possible —
+	// NOT wavelengthAlternates, which would mean revisiting failed links.
+	if got := metricValue(t, c, "griphon_setup_degraded_total", `mode="reroute"`); got != 1 {
+		t.Errorf("reroute metric = %v, want 1 (cumulative avoid exhausts candidates)", got)
 	}
 	auditClean(t, c)
 }
@@ -114,10 +117,48 @@ func TestTransientFaultsExhaustRetryBudget(t *testing.T) {
 		t.Errorf("state = %v, want released", conn.State)
 	}
 	// Each failing ROADM step burns MaxAttempts-1 retries; the initial path
-	// plus two alternates each hit one failing step.
-	want := float64((c.Retry().MaxAttempts - 1) * (1 + wavelengthAlternates))
+	// plus the single link-disjoint alternate each hit one failing step
+	// (cumulative avoidance leaves no third candidate).
+	want := float64((c.Retry().MaxAttempts - 1) * 2)
 	if got := metricValue(t, c, "griphon_ems_retries_total", ""); got != want {
 		t.Errorf("retries = %v, want %v", got, want)
+	}
+	auditClean(t, c)
+}
+
+// TestRerouteAvoidAccumulates pins the cumulative-avoidance fix: the avoid
+// set must carry across the ladder's rungs, so a path that failed on an
+// earlier attempt is never revisited just because a LATER attempt failed on
+// different links. Pre-fix, attempt 3 avoided only attempt 2's links and
+// walked straight back onto the already-poisoned direct path.
+func TestRerouteAvoidAccumulates(t *testing.T) {
+	k, c := newTestbed(t, 305)
+	c.ROADMEMS().InjectFailures(1000, &faults.Error{
+		EMS: "roadm-ems", Cmd: "add-drop", Class: faults.Persistent, Reason: "config-rejected",
+	})
+	_, job, err := c.Connect(Request{Customer: "x", From: "DC-A", To: "DC-C", Rate: bw.Rate10G})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if job.Err() == nil {
+		t.Fatal("setup succeeded despite persistent faults on every route")
+	}
+	// Every attempted path shows up as one setup-fallback event; with
+	// cumulative avoidance no path can be attempted twice.
+	seen := map[string]int{}
+	for _, e := range c.Events() {
+		if e.Kind == "setup-fallback" {
+			seen[e.Text]++
+		}
+	}
+	for path, n := range seen {
+		if n > 1 {
+			t.Errorf("path attempted %d times (%s); failed links must stay avoided across rungs", n, path)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no setup-fallback events recorded; the ladder never ran")
 	}
 	auditClean(t, c)
 }

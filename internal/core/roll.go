@@ -49,7 +49,7 @@ func (c *Controller) bridgeAndRoll(conn *Connection, avoid map[topo.LinkID]bool)
 	rollSp := c.tr.Start(obs.SpanRef{}, "op:roll")
 	rollSp.SetConn(string(conn.ID), string(conn.Customer), conn.Layer.String())
 	a, b := old.route.Path.Src(), old.route.Path.Dst()
-	bridge, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, merged, old, false, rollSp)
+	bridge, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, conn.Protect, merged, old, false, rollSp)
 	if err != nil {
 		rollSp.EndErr(err)
 		return nil, fmt.Errorf("core: no disjoint bridge path for %s: %w", conn.ID, err)

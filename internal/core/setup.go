@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"griphon/internal/bw"
-	"griphon/internal/ems"
 	"griphon/internal/faults"
 	"griphon/internal/fxc"
 	"griphon/internal/inventory"
@@ -193,7 +192,7 @@ const wavelengthAlternates = 2
 // (or none exists to begin with), a 10G request may be delivered as a groomed
 // OTN circuit instead of hard-blocking (Config.DegradeToOTN).
 func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim.Job, error) {
-	lp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, nil, nil, true, conn.opSpan)
+	lp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, conn.Protect, nil, nil, true, conn.opSpan)
 	if err != nil {
 		// No route or wavelength at admission: the ladder's last rung.
 		if job, derr := c.degradeToGroomed(conn, a, b, err); derr == nil {
@@ -208,7 +207,7 @@ func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim
 		for _, l := range lp.route.Path.Links {
 			avoid[l] = true
 		}
-		plp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, nil, false, conn.opSpan)
+		plp, err := c.reserveLightpath(conn.ID, a, b, conn.Rate, conn.Protect, avoid, nil, false, conn.opSpan)
 		if err != nil {
 			c.releaseLightpath(conn.ID, lp)
 			conn.path = nil
@@ -223,17 +222,18 @@ func (c *Controller) connectWavelength(conn *Connection, a, b topo.NodeID) (*sim
 	}
 
 	out := c.k.NewJob()
-	c.attemptWavelengthSetup(conn, a, b, lp, wavelengthAlternates, out)
+	c.attemptWavelengthSetup(conn, a, b, lp, nil, wavelengthAlternates, out)
 	return out, nil
 }
 
 // attemptWavelengthSetup runs the EMS choreography for one candidate
 // lightpath and, when it fails while the connection is still pending, drops
 // one rung down the ladder: release the path, reserve the next candidate
-// avoiding the links that just failed (faults are per-command, so an older
-// path may legitimately be retried later), and try again — up to `alternates`
-// reroutes, then the OTN grooming fallback.
-func (c *Controller) attemptWavelengthSetup(conn *Connection, a, b topo.NodeID, lp *lightpath, alternates int, out *sim.Job) {
+// avoiding every link that failed on ANY earlier attempt (avoid accumulates
+// across the ladder's rungs — an earlier rung's poisoned links must not be
+// revisited just because a different path failed since), and try again — up
+// to `alternates` reroutes, then the OTN grooming fallback.
+func (c *Controller) attemptWavelengthSetup(conn *Connection, a, b topo.NodeID, lp *lightpath, avoid map[topo.LinkID]bool, alternates int, out *sim.Job) {
 	conn.path = lp
 	c.lightpathSetupJob(lp, conn.opSpan).OnDone(func(err error) {
 		if err == nil || conn.State != StatePending || !faults.IsFault(err) {
@@ -249,15 +249,17 @@ func (c *Controller) attemptWavelengthSetup(conn *Connection, a, b topo.NodeID, 
 		c.log(conn.ID, "setup-fallback", "path %s failed: %v", lp.route.Path, err)
 		c.releaseLightpath(conn.ID, lp)
 		conn.path = nil
-		avoid := map[topo.LinkID]bool{}
+		if avoid == nil {
+			avoid = map[topo.LinkID]bool{}
+		}
 		for _, l := range lp.route.Path.Links {
 			avoid[l] = true
 		}
 		if alternates > 0 {
-			if alt, rerr := c.reserveLightpath(conn.ID, a, b, conn.Rate, avoid, nil, true, conn.opSpan); rerr == nil {
+			if alt, rerr := c.reserveLightpath(conn.ID, a, b, conn.Rate, conn.Protect, avoid, nil, true, conn.opSpan); rerr == nil {
 				c.ins.setupRerouted.Inc()
 				c.log(conn.ID, "setup-reroute", "retrying on candidate %s", alt.route.Path)
-				c.attemptWavelengthSetup(conn, a, b, alt, alternates-1, out)
+				c.attemptWavelengthSetup(conn, a, b, alt, avoid, alternates-1, out)
 				return
 			}
 		}
@@ -344,7 +346,33 @@ func touchedPipes(conn *Connection) []*otn.Pipe {
 // existing lightpath (restoration and bridge-and-roll keep the ends, only the
 // middle changes). withFXC selects whether FXC client/line ports are part of
 // this lightpath (the 1+1 protect leg bridges inside the NTE instead).
-func (c *Controller) reserveLightpath(id ConnID, a, b topo.NodeID, rate bw.Rate, avoid map[topo.LinkID]bool, reuse *lightpath, withFXC bool, parent obs.SpanRef) (*lightpath, error) {
+//
+// With Config.PathCache on, unconstrained requests (no caller avoid set, no
+// reuse — the common cold-start and repeat-customer shape) are answered from
+// the path cache when possible, skipping the K-shortest search and
+// regeneration planning; the lightpath is marked cached so the choreography
+// charges the reduced controller overhead. A cached route that can no longer
+// be reserved (spectrum filled up meanwhile) falls through to the full
+// search.
+func (c *Controller) reserveLightpath(id ConnID, a, b topo.NodeID, rate bw.Rate, protect Protection, avoid map[topo.LinkID]bool, reuse *lightpath, withFXC bool, parent obs.SpanRef) (*lightpath, error) {
+	cacheable := c.pcache != nil && len(avoid) == 0 && reuse == nil
+	if cacheable {
+		key := pathKey{a: a, b: b, rate: rate, protect: protect}
+		if route, ok := c.pcacheLookup(key); ok {
+			c.ins.pathcacheHits.Inc()
+			sp := c.tr.Start(parent, "rwa:cache-hit")
+			lp, err := c.reserveOnRoute(id, route, rate, reuse, withFXC)
+			sp.EndErr(err)
+			if err == nil {
+				lp.cached = true
+				return lp, nil
+			}
+			// Fall through to the full search below.
+		} else {
+			c.ins.pathcacheMisses.Inc()
+		}
+	}
+
 	opt := c.rwaOpt
 	opt.Rate = rate
 	merged := map[topo.LinkID]bool{}
@@ -365,6 +393,9 @@ func (c *Controller) reserveLightpath(id ConnID, a, b topo.NodeID, rate bw.Rate,
 	rsp := c.tr.Start(parent, "reserve")
 	lp, err := c.reserveOnRoute(id, route, rate, reuse, withFXC)
 	rsp.EndErr(err)
+	if err == nil && cacheable {
+		c.pcacheStore(pathKey{a: a, b: b, rate: rate, protect: protect}, route)
+	}
 	return lp, err
 }
 
@@ -538,98 +569,6 @@ func segmentNodes(path topo.Path, plan optics.RegenPlan) [][]topo.NodeID {
 		idx += n
 	}
 	return out
-}
-
-// lightpathSetupJob runs the EMS choreography for one lightpath and returns
-// the job completing when light is verified end to end. Durations follow the
-// calibrated latency table; the FXC controllers and the ROADM EMS are
-// separate serial managers, chained in the order the prototype used. Every
-// EMS step is wrapped in the retry policy, sharing one backoff budget for the
-// whole choreography; the commands are pure latency (no Apply), so a
-// resubmitted step re-runs the vendor dialogue without double-mutating state.
-func (c *Controller) lightpathSetupJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
-	path := lp.route.Path
-	a, b := path.Src(), path.Dst()
-	hops := path.Hops()
-	sp := c.tr.Start(parent, "lightpath:setup")
-	bud := &opBudget{}
-	seq := sim.NewSequence(c.k).
-		Then(func() *sim.Job {
-			osp := c.tr.Start(sp, "controller-overhead")
-			j := c.k.AfterJob(c.jit(c.lat.ControllerOverhead), nil)
-			j.OnDone(func(err error) { osp.EndErr(err) })
-			return j
-		}).
-		Then(func() *sim.Job {
-			return c.retrying(sp, bud, func() *sim.Job {
-				return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
-			})
-		}).
-		Then(func() *sim.Job {
-			return c.retrying(sp, bud, func() *sim.Job {
-				return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-connect", Dur: c.jit(c.lat.FXCConnect), Span: sp})
-			})
-		}).
-		Then(func() *sim.Job {
-			return c.retrying(sp, bud, func() *sim.Job {
-				cmds := []ems.Command{
-					{Name: "ems-session", Dur: c.jit(c.lat.EMSSession), Span: sp},
-					{Name: "add-drop:" + string(a), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
-					{Name: "add-drop:" + string(b), Dur: c.jit(c.lat.ROADMAddDrop), Span: sp},
-				}
-				for _, n := range path.Intermediate() {
-					cmds = append(cmds, ems.Command{Name: "express:" + string(n), Dur: c.jit(c.lat.ROADMExpress), Span: sp})
-				}
-				for _, rg := range lp.regens {
-					cmds = append(cmds, ems.Command{Name: "regen:" + rg.ID, Dur: c.jit(c.lat.RegenConfig), Span: sp})
-				}
-				cmds = append(cmds, ems.Command{Name: "laser-tune", Dur: c.jit(c.lat.LaserTune), Span: sp})
-				for i := 0; i < hops; i++ {
-					cmds = append(cmds, ems.Command{Name: fmt.Sprintf("power-balance:%d", i), Dur: c.jit(c.lat.PowerBalancePerHop), Span: sp})
-				}
-				cmds = append(cmds,
-					ems.Command{Name: "link-equalize", Dur: c.jit(c.lat.LinkEqualize), Span: sp},
-					ems.Command{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: sp},
-				)
-				return c.roadmEMS.SubmitBatch(cmds)
-			})
-		})
-	job := seq.Go()
-	job.OnDone(func(err error) { sp.EndErr(err) })
-	return job
-}
-
-// lightpathTeardownJob runs the EMS choreography for releasing a lightpath
-// (paper §3: "around 10 seconds").
-func (c *Controller) lightpathTeardownJob(lp *lightpath, parent obs.SpanRef) *sim.Job {
-	path := lp.route.Path
-	a, b := path.Src(), path.Dst()
-	sp := c.tr.Start(parent, "lightpath:teardown")
-	bud := &opBudget{}
-	job := sim.NewSequence(c.k).
-		ThenWait(c.jit(c.lat.TeardownController)).
-		Then(func() *sim.Job {
-			return c.retrying(sp, bud, func() *sim.Job {
-				return c.fxcEMS[a].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
-			})
-		}).
-		Then(func() *sim.Job {
-			return c.retrying(sp, bud, func() *sim.Job {
-				return c.fxcEMS[b].Submit(ems.Command{Name: "fxc-disconnect", Dur: c.jit(c.lat.FXCDisconnect), Span: sp})
-			})
-		}).
-		Then(func() *sim.Job {
-			return c.retrying(sp, bud, func() *sim.Job {
-				return c.roadmEMS.SubmitBatch([]ems.Command{
-					{Name: "teardown-session", Dur: c.jit(c.lat.TeardownEMSSession), Span: sp},
-					{Name: "release:" + string(a), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
-					{Name: "release:" + string(b), Dur: c.jit(c.lat.ROADMRelease), Span: sp},
-				})
-			})
-		}).
-		Go()
-	job.OnDone(func(err error) { sp.EndErr(err) })
-	return job
 }
 
 // Disconnect tears a connection down on behalf of its owner. Resources are

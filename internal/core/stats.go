@@ -50,14 +50,22 @@ func (c *Controller) Snapshot() Stats {
 			s.Released++
 		}
 	}
+	// Topology elements added after plant construction carry no devices yet;
+	// the plant accessors return nil for them.
 	for _, l := range c.g.Links() {
-		s.ChannelsInUse += c.plant.Spectrum(l.ID).Used()
+		if sp := c.plant.Spectrum(l.ID); sp != nil {
+			s.ChannelsInUse += sp.Used()
+		}
 	}
 	for _, n := range c.g.Nodes() {
-		s.OTsInUse += c.plant.OTs(n.ID).InUse()
-		s.OTsTotal += c.plant.OTs(n.ID).Total()
-		s.RegensInUse += c.plant.Regens(n.ID).InUse()
-		s.RegensTotal += c.plant.Regens(n.ID).Total()
+		if b := c.plant.OTs(n.ID); b != nil {
+			s.OTsInUse += b.InUse()
+			s.OTsTotal += b.Total()
+		}
+		if b := c.plant.Regens(n.ID); b != nil {
+			s.RegensInUse += b.InUse()
+			s.RegensTotal += b.Total()
+		}
 	}
 	for _, p := range c.fabric.Pipes() {
 		s.Pipes++

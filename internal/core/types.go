@@ -122,6 +122,9 @@ type lightpath struct {
 	// transparent segment, for symmetric release.
 	segNodes  [][]topo.NodeID
 	segOwners []string
+	// cached marks a route answered from the path cache; the setup
+	// choreography then charges the reduced cached controller overhead.
+	cached bool
 }
 
 // Connection is the controller's record of one customer connection.

@@ -342,3 +342,120 @@ func TestInjectFailuresPrecedence(t *testing.T) {
 		t.Errorf("post-clear err = %v, want a model fault, not %v", j3.Err(), boom)
 	}
 }
+
+func TestManagerElementLanesConcurrent(t *testing.T) {
+	// Three commands on three distinct element lanes finish at max(dur),
+	// not sum(dur); BusyTime still accrues the sum.
+	k := sim.NewKernel(1)
+	m := NewManager("roadm-ems", k)
+	var done []sim.Time
+	for _, c := range []struct {
+		elem string
+		dur  sim.Duration
+	}{{"roadm:a", 7 * time.Second}, {"roadm:b", 7 * time.Second}, {"roadm:n", 1 * time.Second}} {
+		c := c
+		m.Submit(Command{Name: "cfg", Elem: c.elem, Dur: c.dur, Apply: func() error {
+			done = append(done, k.Now())
+			return nil
+		}})
+	}
+	k.Run()
+	if len(done) != 3 {
+		t.Fatalf("completed %d commands", len(done))
+	}
+	last := done[0]
+	for _, d := range done[1:] {
+		if d > last {
+			last = d
+		}
+	}
+	if want := sim.Time(7 * time.Second); last != want {
+		t.Errorf("last lane command finished at %v, want %v (concurrent lanes)", last, want)
+	}
+	if m.BusyTime() != 15*time.Second {
+		t.Errorf("BusyTime = %v, want 15s (sum across lanes)", m.BusyTime())
+	}
+}
+
+func TestManagerSameLaneSerializes(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewManager("e", k)
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		m.Submit(Command{Name: "cfg", Elem: "roadm:a", Dur: 4 * time.Second, Apply: func() error {
+			done = append(done, k.Now())
+			return nil
+		}})
+	}
+	if m.QueueLen() != 1 {
+		t.Errorf("QueueLen = %d, want 1 (one in flight on the lane)", m.QueueLen())
+	}
+	k.Run()
+	want := []sim.Time{sim.Time(4 * time.Second), sim.Time(8 * time.Second)}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("command %d finished at %v, want %v (same lane serializes)", i, done[i], want[i])
+		}
+	}
+}
+
+func TestManagerBatchAcrossLanes(t *testing.T) {
+	// A batch spanning distinct lanes completes at the slowest lane, and a
+	// later submission on one of those lanes waits behind the batch's
+	// command on that lane.
+	k := sim.NewKernel(1)
+	m := NewManager("e", k)
+	batch := m.SubmitBatch([]Command{
+		{Name: "add-drop:a", Elem: "roadm:a", Dur: 7 * time.Second},
+		{Name: "add-drop:b", Elem: "roadm:b", Dur: 7 * time.Second},
+		{Name: "express:n", Elem: "roadm:n", Dur: 1 * time.Second},
+	})
+	var lateDone sim.Time
+	m.Submit(Command{Name: "late", Elem: "roadm:a", Dur: 1 * time.Second, Apply: func() error {
+		lateDone = k.Now()
+		return nil
+	}})
+	k.Run()
+	if batch.Err() != nil {
+		t.Fatalf("batch failed: %v", batch.Err())
+	}
+	if want := 7 * time.Second; batch.Elapsed() != want {
+		t.Errorf("batch took %v, want %v (lanes concurrent)", batch.Elapsed(), want)
+	}
+	if want := sim.Time(8 * time.Second); lateDone != want {
+		t.Errorf("late command finished at %v, want %v (queued behind batch on its lane)", lateDone, want)
+	}
+}
+
+func TestManagerDefaultLaneUnchanged(t *testing.T) {
+	// Commands without Elem share the single default lane: fully serialized,
+	// exactly the paper-measured behavior.
+	k := sim.NewKernel(1)
+	m := NewManager("e", k)
+	j := m.SubmitBatch([]Command{
+		{Name: "s1", Dur: 3 * time.Second},
+		{Name: "s2", Dur: 4 * time.Second},
+	})
+	k.Run()
+	if want := 7 * time.Second; j.Elapsed() != want {
+		t.Errorf("default-lane batch took %v, want %v (serial)", j.Elapsed(), want)
+	}
+}
+
+func TestInjectFailuresGlobalAcrossLanes(t *testing.T) {
+	// failNext counts commands in dequeue order across all lanes.
+	k := sim.NewKernel(1)
+	m := NewManager("e", k)
+	boom := errors.New("boom")
+	m.InjectFailures(2, boom)
+	j1 := m.Submit(Command{Name: "a", Elem: "la", Dur: time.Second})
+	j2 := m.Submit(Command{Name: "b", Elem: "lb", Dur: time.Second})
+	j3 := m.Submit(Command{Name: "c", Elem: "lc", Dur: time.Second})
+	k.Run()
+	if j1.Err() != boom || j2.Err() != boom {
+		t.Errorf("first two commands: errs %v, %v, want injected failure", j1.Err(), j2.Err())
+	}
+	if j3.Err() != nil {
+		t.Errorf("third command failed: %v", j3.Err())
+	}
+}

@@ -15,6 +15,14 @@ type Command struct {
 	// Dur is the step's latency (already jittered by the caller if
 	// desired).
 	Dur sim.Duration
+	// Elem optionally names the element lane the command occupies (a
+	// specific ROADM, a laser controller). Commands sharing a lane execute
+	// strictly in order; commands on different lanes run concurrently —
+	// vendor EMSes can drive independent elements in parallel sessions
+	// even though each element accepts one configuration at a time. The
+	// empty Elem is the default lane, giving exactly the fully serialized
+	// behavior the paper measured.
+	Elem string
 	// Apply mutates device state at completion; a nil Apply is pure
 	// latency. An Apply error fails the command's job.
 	Apply func() error
@@ -23,23 +31,32 @@ type Command struct {
 	Span obs.SpanRef
 }
 
-// Manager is one vendor EMS (or element controller): a strictly serial
-// command executor. Serialization is deliberate — a single EMS session
-// processes one configuration step at a time, which is a real contributor to
-// the provisioning times the paper measures, and makes concurrent connection
-// setups through the same EMS queue behind each other.
+// lane is one element's serial command stream: at most one command in flight,
+// the rest queued in submission order.
+type lane struct {
+	busy  bool
+	queue []*queued
+}
+
+// Manager is one vendor EMS (or element controller): a set of strictly serial
+// per-element command lanes. Commands targeting the same element (Command.
+// Elem) execute one at a time in submission order — an element accepts a
+// single configuration dialogue — while commands for different elements run
+// concurrently. Callers that never set Elem get a single serial lane, which
+// is the paper's measured behavior: one EMS session processing one
+// configuration step at a time, a real contributor to its 60–70 s
+// provisioning times.
 type Manager struct {
 	name    string
 	k       *sim.Kernel
-	busy    bool
-	queue   []*queued
+	lanes   map[string]*lane
 	served  uint64
 	busyFor sim.Duration
 	tracer  *obs.Tracer
 
 	// Fault injection: failNext commands (counting from the next one to
-	// execute) fail with failErr. Used by tests and failure-injection
-	// experiments to exercise controller rollback paths.
+	// execute, across all lanes) fail with failErr. Used by tests and
+	// failure-injection experiments to exercise controller rollback paths.
 	failNext int
 	failErr  error
 
@@ -52,8 +69,9 @@ type Manager struct {
 // Injector decides the fate of a command about to execute — the hook the
 // fault model (internal/faults) plugs in through. It returns the duration the
 // command should take (possibly inflated past the nominal d) and a non-nil
-// error to fail it. A failing command still occupies the EMS for the returned
-// duration: a vendor timeout burns its window before reporting failure.
+// error to fail it. A failing command still occupies its lane for the
+// returned duration: a vendor timeout burns its window before reporting
+// failure.
 type Injector interface {
 	Decide(ems, cmd string, d sim.Duration) (sim.Duration, error)
 }
@@ -69,7 +87,7 @@ type queued struct {
 
 // NewManager returns an idle EMS with the given display name.
 func NewManager(name string, k *sim.Kernel) *Manager {
-	return &Manager{name: name, k: k}
+	return &Manager{name: name, k: k, lanes: make(map[string]*lane)}
 }
 
 // Name returns the EMS's display name.
@@ -80,15 +98,22 @@ func (m *Manager) Name() string { return m.name }
 // tracer (the default) disables tracing at zero cost.
 func (m *Manager) SetTracer(t *obs.Tracer) { m.tracer = t }
 
-// QueueLen returns the number of commands waiting (not counting the one in
-// flight).
-func (m *Manager) QueueLen() int { return len(m.queue) }
+// QueueLen returns the number of commands waiting across all lanes (not
+// counting the ones in flight).
+func (m *Manager) QueueLen() int {
+	n := 0
+	for _, l := range m.lanes {
+		n += len(l.queue)
+	}
+	return n
+}
 
 // Served returns the number of commands completed.
 func (m *Manager) Served() uint64 { return m.served }
 
 // BusyTime returns the cumulative virtual time spent executing completed
-// commands. Work still in flight is not counted until it finishes.
+// commands, summed across lanes (concurrent lanes can make this exceed
+// elapsed time). Work still in flight is not counted until it finishes.
 func (m *Manager) BusyTime() sim.Duration { return m.busyFor }
 
 // InjectFailures makes the next n commands fail with err when they execute
@@ -107,23 +132,33 @@ func (m *Manager) InjectFailures(n int, err error) {
 	m.failErr = err
 }
 
-// Submit enqueues a command and returns the job that completes when the
-// command has executed. Commands run in submission order.
+// Submit enqueues a command on its element's lane and returns the job that
+// completes when the command has executed. Commands on one lane run in
+// submission order.
 func (m *Manager) Submit(cmd Command) *sim.Job {
 	if cmd.Dur < 0 {
 		return m.k.CompletedJob(fmt.Errorf("ems: %s: negative duration for %q", m.name, cmd.Name))
 	}
+	l := m.lanes[cmd.Elem]
+	if l == nil {
+		l = &lane{}
+		m.lanes[cmd.Elem] = l
+	}
 	q := &queued{cmd: cmd, job: m.k.NewJob(), submitted: m.k.Now()}
-	m.queue = append(m.queue, q)
-	if !m.busy {
-		m.runNext()
+	l.queue = append(l.queue, q)
+	if !l.busy {
+		m.runNext(l)
 	}
 	return q.job
 }
 
 // SubmitBatch enqueues the commands in order and returns a job that completes
-// when the last one does (failing with the first command error, but still
-// executing the rest — an EMS does not abort a batch midway).
+// when the last one does (failing with the first command error in batch
+// order, but still executing the rest — an EMS does not abort a batch
+// midway). Commands with distinct Elems land on distinct lanes, so a batch
+// over independent elements executes concurrently while staying atomic at
+// enqueue: no other submission can interleave into the lanes between the
+// batch's own commands.
 func (m *Manager) SubmitBatch(cmds []Command) *sim.Job {
 	if len(cmds) == 0 {
 		return m.k.CompletedJob(nil)
@@ -135,14 +170,14 @@ func (m *Manager) SubmitBatch(cmds []Command) *sim.Job {
 	return sim.All(m.k, jobs...)
 }
 
-func (m *Manager) runNext() {
-	if len(m.queue) == 0 {
-		m.busy = false
+func (m *Manager) runNext(l *lane) {
+	if len(l.queue) == 0 {
+		l.busy = false
 		return
 	}
-	m.busy = true
-	q := m.queue[0]
-	m.queue = m.queue[1:]
+	l.busy = true
+	q := l.queue[0]
+	l.queue = l.queue[1:]
 
 	// The command's fate is fixed at dequeue. Deterministic injection takes
 	// precedence over the fault model, which may also inflate the duration.
@@ -170,6 +205,6 @@ func (m *Manager) runNext() {
 		m.busyFor += dur
 		sp.EndErr(err)
 		q.job.Complete(err)
-		m.runNext()
+		m.runNext(l)
 	})
 }

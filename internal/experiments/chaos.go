@@ -33,6 +33,12 @@ func ChaosN(seed int64, steps int) (Result, error) {
 		AutoRepair:   true,
 		Faults:       &prof,
 		DegradeToOTN: true,
+		// PR 6 fast-setup machinery rides the soak too: the graph executor,
+		// path cache and pre-arm re-arming must all hold up under the fault
+		// model with the same silent audit.
+		Choreography: core.ChoreoGraph,
+		PathCache:    true,
+		PreArm:       core.PreArm{WarmOTsPerNode: 1, WarmSessions: 2},
 	})
 	if err != nil {
 		return Result{}, err

@@ -80,6 +80,7 @@ var All = []Spec{
 	{ID: "defrag", Paper: "§4 extension: spectrum defragmentation after churn", Run: Defrag},
 	{ID: "trace", Paper: "extension: restoration timeline rebuilt from the span recorder", Run: Trace},
 	{ID: "scale", Paper: "§1 carrier scale: 64-node grid, a month of churn + failure storm", Run: Scale},
+	{ID: "latency", Paper: "PR 6: setup-latency war — graph choreography, path cache, pre-arming", Run: Latency},
 	{ID: "chaos", Paper: "§2.2/§3 extension: fault-model soak with invariant audit", Run: Chaos},
 	{ID: "crashrec", Paper: "§2.2 extension: WAL crash injection with shadow-state diff", Run: CrashRec},
 }

@@ -50,6 +50,9 @@ type Plant struct {
 	ots     map[topo.NodeID]*OTBank
 	regens  map[topo.NodeID]*RegenBank
 	down    map[topo.LinkID]bool
+	// onLinkState, when non-nil, observes every SetLinkUp (see
+	// SetOnLinkState).
+	onLinkState func(id topo.LinkID, up bool)
 	// usage[ch] counts the links currently carrying ch, maintained
 	// incrementally on every Reserve/Release so most-used/least-used
 	// wavelength assignment never rescans the network's spectra.
@@ -154,7 +157,15 @@ func (p *Plant) SetLinkUp(id topo.LinkID, up bool) {
 	} else {
 		p.down[id] = true
 	}
+	if p.onLinkState != nil {
+		p.onLinkState(id, up)
+	}
 }
+
+// SetOnLinkState installs an observer called after every link state change
+// (both failures and restorations) — the controller's path cache hangs its
+// invalidation off this. A nil fn detaches the observer.
+func (p *Plant) SetOnLinkState(fn func(id topo.LinkID, up bool)) { p.onLinkState = fn }
 
 // DownLinks returns the currently failed links in sorted order.
 func (p *Plant) DownLinks() []topo.LinkID {

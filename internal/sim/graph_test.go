@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// after is a test helper: a node run function that takes d and fails with err.
+func after(k *Kernel, d Duration, err error) func() *Job {
+	return func() *Job { return k.AfterJob(d, err) }
+}
+
+func TestGraphDiamondTiming(t *testing.T) {
+	// root -> {left 5s, right 3s} -> sink 2s. The sink starts when the
+	// slower branch ends (5s), not after the sum (8s).
+	k := NewKernel(1)
+	g := NewGraph(k)
+	root := g.Node("root", after(k, 1*time.Second, nil))
+	left := g.Node("left", after(k, 5*time.Second, nil))
+	right := g.Node("right", after(k, 3*time.Second, nil))
+	var sinkStart Time
+	sink := g.Node("sink", func() *Job {
+		sinkStart = k.Now()
+		return k.AfterJob(2*time.Second, nil)
+	})
+	g.Edge(root, left)
+	g.Edge(root, right)
+	g.Edge(left, sink)
+	g.Edge(right, sink)
+	job := g.Go()
+	k.Run()
+	if err := job.Err(); err != nil {
+		t.Fatalf("graph failed: %v", err)
+	}
+	if want := Time(0).Add(6 * time.Second); sinkStart != want {
+		t.Errorf("sink started at %v, want %v (after the slower branch)", sinkStart, want)
+	}
+	if want := 8 * time.Second; job.Elapsed() != want {
+		t.Errorf("graph took %v, want %v", job.Elapsed(), want)
+	}
+}
+
+func TestGraphLinearChainMatchesSequence(t *testing.T) {
+	durs := []Duration{2 * time.Second, 3 * time.Second, 5 * time.Second}
+
+	run := func(build func(k *Kernel) *Job) Duration {
+		k := NewKernel(1)
+		job := build(k)
+		k.Run()
+		if job.Err() != nil {
+			t.Fatalf("job failed: %v", job.Err())
+		}
+		return job.Elapsed()
+	}
+
+	seq := run(func(k *Kernel) *Job {
+		s := NewSequence(k)
+		for _, d := range durs {
+			d := d
+			s.Then(func() *Job { return k.AfterJob(d, nil) })
+		}
+		return s.Go()
+	})
+	chain := run(func(k *Kernel) *Job {
+		g := NewGraph(k)
+		var prev NodeID = -1
+		for i, d := range durs {
+			n := g.Node("step", after(k, d, nil))
+			if i > 0 {
+				g.Edge(prev, n)
+			}
+			prev = n
+		}
+		return g.Go()
+	})
+	if seq != chain {
+		t.Errorf("linear graph took %v, Sequence took %v; want identical", chain, seq)
+	}
+}
+
+func TestGraphFailureSkipsDependents(t *testing.T) {
+	// root -> bad -> skipped -> skipped2, root -> good. The independent
+	// branch still runs; the dependents of the failure never start.
+	k := NewKernel(1)
+	boom := errors.New("boom")
+	g := NewGraph(k)
+	started := map[string]bool{}
+	mark := func(name string, d Duration, err error) func() *Job {
+		return func() *Job {
+			started[name] = true
+			return k.AfterJob(d, err)
+		}
+	}
+	root := g.Node("root", mark("root", time.Second, nil))
+	bad := g.Node("bad", mark("bad", time.Second, boom))
+	dep := g.Node("dep", mark("dep", time.Second, nil))
+	dep2 := g.Node("dep2", mark("dep2", time.Second, nil))
+	good := g.Node("good", mark("good", 10*time.Second, nil))
+	g.Edge(root, bad)
+	g.Edge(root, good)
+	g.Edge(bad, dep)
+	g.Edge(dep, dep2)
+	job := g.Go()
+	k.Run()
+	if !errors.Is(job.Err(), boom) {
+		t.Fatalf("graph err = %v, want %v", job.Err(), boom)
+	}
+	if started["dep"] || started["dep2"] {
+		t.Error("dependents of the failed node started")
+	}
+	if !started["good"] {
+		t.Error("independent branch did not run")
+	}
+	// The graph completes only when the independent branch finishes.
+	if want := 11 * time.Second; job.Elapsed() != want {
+		t.Errorf("graph took %v, want %v (waits for the independent branch)", job.Elapsed(), want)
+	}
+}
+
+func TestGraphFirstErrorInCreationOrder(t *testing.T) {
+	// Two failing roots: the slow one was created first, so its error wins
+	// even though the fast one completes first.
+	k := NewKernel(1)
+	errSlow := errors.New("slow")
+	errFast := errors.New("fast")
+	g := NewGraph(k)
+	g.Node("slow", after(k, 5*time.Second, errSlow))
+	g.Node("fast", after(k, 1*time.Second, errFast))
+	job := g.Go()
+	k.Run()
+	if !errors.Is(job.Err(), errSlow) {
+		t.Errorf("graph err = %v, want the first-created node's error %v", job.Err(), errSlow)
+	}
+}
+
+func TestGraphNilRunBarrier(t *testing.T) {
+	// A nil-run node is an instantaneous barrier: fan-in, zero latency.
+	k := NewKernel(1)
+	g := NewGraph(k)
+	a := g.Node("a", after(k, 2*time.Second, nil))
+	b := g.Node("b", after(k, 3*time.Second, nil))
+	barrier := g.Node("barrier", nil)
+	var tailStart Time
+	tail := g.Node("tail", func() *Job {
+		tailStart = k.Now()
+		return k.AfterJob(time.Second, nil)
+	})
+	g.Edge(a, barrier)
+	g.Edge(b, barrier)
+	g.Edge(barrier, tail)
+	job := g.Go()
+	k.Run()
+	if job.Err() != nil {
+		t.Fatalf("graph failed: %v", job.Err())
+	}
+	if want := Time(0).Add(3 * time.Second); tailStart != want {
+		t.Errorf("tail started at %v, want %v", tailStart, want)
+	}
+}
+
+func TestGraphEmptyCompletes(t *testing.T) {
+	k := NewKernel(1)
+	job := NewGraph(k).Go()
+	k.Run()
+	if !job.Done() || job.Err() != nil {
+		t.Fatalf("empty graph: done=%v err=%v", job.Done(), job.Err())
+	}
+	if job.Elapsed() != 0 {
+		t.Errorf("empty graph took %v, want 0", job.Elapsed())
+	}
+}
+
+func TestGraphCyclePanics(t *testing.T) {
+	k := NewKernel(1)
+	g := NewGraph(k)
+	a := g.Node("a", nil)
+	b := g.Node("b", nil)
+	g.Edge(a, b)
+	g.Edge(b, a)
+	defer func() {
+		if recover() == nil {
+			t.Error("Go on a cyclic graph did not panic")
+		}
+	}()
+	g.Go()
+}
+
+func TestGraphSelfEdgePanics(t *testing.T) {
+	k := NewKernel(1)
+	g := NewGraph(k)
+	a := g.Node("a", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("self-edge did not panic")
+		}
+	}()
+	g.Edge(a, a)
+}

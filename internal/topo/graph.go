@@ -77,7 +77,14 @@ type Graph struct {
 	// compiled caches the integer-indexed view; topology mutations
 	// invalidate it (see Index).
 	compiled idxCache
+	// version counts fiber-topology mutations (nodes and links); caches of
+	// computed routes key their validity on it (see Version).
+	version uint64
 }
+
+// Version returns a counter bumped on every node or link mutation. A cache of
+// anything computed from the fiber topology is stale once Version moves.
+func (g *Graph) Version() uint64 { return g.version }
 
 // New returns an empty graph.
 func New() *Graph {
@@ -100,6 +107,7 @@ func (g *Graph) AddNode(n Node) error {
 	c := n
 	g.nodes[n.ID] = &c
 	g.compiled.invalidate()
+	g.version++
 	return nil
 }
 
@@ -129,6 +137,7 @@ func (g *Graph) AddLink(l Link) error {
 	g.adj[l.A] = append(g.adj[l.A], &c)
 	g.adj[l.B] = append(g.adj[l.B], &c)
 	g.compiled.invalidate()
+	g.version++
 	return nil
 }
 
