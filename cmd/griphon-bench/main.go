@@ -10,6 +10,7 @@
 //	griphon-bench -exp scale -cpuprofile cpu.prof -memprofile mem.prof
 //	griphon-bench -trace trace.json   # record a setup→cut→restore demo trace
 //	griphon-bench -chaos 2000         # chaos soak: N randomized ops under the fault model
+//	griphon-bench -chaos 2000 -flight-out flight.json   # where a failing soak dumps the flight recorder
 //	griphon-bench -crash 50           # crash-recovery soak: N random WAL truncations
 //	griphon-bench -latency 120        # setup-latency benchmark: write BENCH_PR6.json
 //	griphon-bench -latency-gate BENCH_PR6.json   # fail on fast-mode p95 regression
@@ -34,6 +35,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := flag.String("trace", "", "record a scripted setup→cut→restore demo and write its Chrome trace to this file")
 	chaos := flag.Int("chaos", 0, "run the chaos soak with this many randomized operations and exit")
+	flightOut := flag.String("flight-out", "chaos-flight.json", "where a failing chaos soak writes the flight-recorder dump (empty disables)")
 	crash := flag.Int("crash", 0, "run the crash-recovery soak with this many WAL truncation trials and exit")
 	latency := flag.Int("latency", 0, "run the setup-latency benchmark with this many setups per class and write the JSON report")
 	latencyOut := flag.String("latency-out", "BENCH_PR6.json", "where -latency writes the JSON report")
@@ -78,7 +80,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(res.String())
-		if res.Values["audit_findings"] != 0 {
+		if b, ok := res.Artifacts["flight.json"]; ok && *flightOut != "" {
+			if werr := os.WriteFile(*flightOut, b, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "flight-out:", werr)
+			} else {
+				fmt.Printf("wrote flight-recorder dump to %s\n", *flightOut)
+			}
+		}
+		if res.Values["audit_findings"] != 0 || res.Values["sla_findings"] != 0 {
 			os.Exit(1)
 		}
 		return

@@ -20,9 +20,11 @@
 //	advance    -for 1h
 //	bill       -customer C
 //	stats
-//	events     [-conn C0001]
+//	events     [-conn C0001] [-since N]
+//	alarms     [-customer C] [-since N]
+//	sla        [-customer C] [-v]
 //	topology
-//	metrics
+//	metrics    [-filter griphon_sla]
 //	trace      [-format chrome|jsonl] [-o trace.json]
 package main
 
@@ -30,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"griphon/internal/api"
@@ -50,7 +53,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (connect|disconnect|list|adjust|roll|regroom|defrag|cut|repair|maint|advance|bill|stats|events|topology|metrics|trace)")
+		return fmt.Errorf("missing command (connect|disconnect|list|adjust|roll|regroom|defrag|cut|repair|maint|advance|bill|stats|events|alarms|sla|topology|metrics|trace)")
 	}
 	c := api.NewClient(*server)
 	cmd, cmdArgs := rest[0], rest[1:]
@@ -225,8 +228,23 @@ func run(args []string) error {
 	case "events":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		conn := fs.String("conn", "", "filter by connection ID")
+		since := fs.Int("since", -1, "resume cursor (prints the next cursor)")
 		if err := fs.Parse(cmdArgs); err != nil {
 			return err
+		}
+		if *since >= 0 {
+			if *conn != "" {
+				return fmt.Errorf("-since and -conn cannot be combined")
+			}
+			page, err := c.EventsSince(*since)
+			if err != nil {
+				return err
+			}
+			for _, e := range page.Events {
+				fmt.Printf("[%s] %-6s %-16s %s\n", e.At, e.Conn, e.Kind, e.Text)
+			}
+			fmt.Printf("next cursor: %d\n", page.Next)
+			return nil
 		}
 		evs, err := c.Events(*conn)
 		if err != nil {
@@ -237,12 +255,55 @@ func run(args []string) error {
 		}
 		return nil
 
+	case "alarms":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer view (empty = operator)")
+		since := fs.Uint64("since", 0, "resume cursor (prints the next cursor)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		resp, err := c.Alarms(*customer, *since)
+		if err != nil {
+			return err
+		}
+		for _, g := range resp.Groups {
+			fmt.Printf("#%d [%s] %s", g.Seq, g.At, g.Kind)
+			if g.Link != "" {
+				fmt.Printf(" link=%s", g.Link)
+			}
+			fmt.Printf(": %s\n", g.Root.Detail)
+			for _, a := range g.Children {
+				fmt.Printf("    [%s] %-4s at %-4s conn=%-6s %s\n", a.At, a.Type, a.Node, a.Conn, a.Detail)
+			}
+		}
+		fmt.Printf("next cursor: %d\n", resp.Next)
+		return nil
+
+	case "sla":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		customer := fs.String("customer", "", "customer to report on (empty = operator view)")
+		verbose := fs.Bool("v", false, "include per-outage attribution and phases")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		rep, err := c.SLA(*customer)
+		if err != nil {
+			return err
+		}
+		printSLA(rep, *verbose)
+		return nil
+
 	case "metrics":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		filter := fs.String("filter", "", "only print metric families whose name has this prefix")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
 		text, err := c.Metrics()
 		if err != nil {
 			return err
 		}
-		fmt.Print(text)
+		fmt.Print(filterMetrics(text, *filter))
 		return nil
 
 	case "trace":
@@ -283,6 +344,81 @@ func run(args []string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// filterMetrics keeps only the Prometheus families whose metric name starts
+// with prefix (HELP/TYPE comments included). Empty prefix passes everything.
+func filterMetrics(text, prefix string) string {
+	if prefix == "" {
+		return text
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		name := line
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name = rest
+		} else if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name = rest
+		}
+		if strings.HasPrefix(name, prefix) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func printSLA(rep api.SLAJSON, verbose bool) {
+	who := rep.Customer
+	if who == "" {
+		who = "(operator view)"
+	}
+	fmt.Printf("SLA report for %s at %s\n", who, rep.Now)
+	fmt.Printf("availability %.6f  (%.0f s down of %.0f s observed), %d outages, %d unattributed\n",
+		rep.Availability, rep.DowntimeS, rep.LifetimeS, rep.Outages, rep.Unattributed)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tCUSTOMER\tAVAILABILITY\tDOWNTIME\tOUTAGES\tSTATUS")
+	for _, cj := range rep.Conns {
+		status := "live"
+		if cj.Released != "" {
+			status = "released " + cj.Released
+		}
+		if cj.Degraded {
+			status += " (degraded)"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.6f\t%.1fs\t%d\t%s\n",
+			cj.ID, cj.Customer, cj.Availability, cj.DowntimeS, len(cj.Outages), status)
+	}
+	w.Flush()
+	if !verbose {
+		return
+	}
+	for _, cj := range rep.Conns {
+		for _, o := range cj.Outages {
+			end := o.End
+			if o.Open {
+				end = "open"
+			}
+			fmt.Printf("%s: [%s .. %s] %.3fs cause=%s", cj.ID, o.Start, end, o.Seconds, o.Cause)
+			if o.Link != "" {
+				fmt.Printf(" link=%s", o.Link)
+			}
+			if o.Resolution != "" {
+				fmt.Printf(" resolution=%s", o.Resolution)
+			}
+			fmt.Println()
+			for _, p := range o.Phases {
+				open := ""
+				if p.Open {
+					open = " (open)"
+				}
+				fmt.Printf("    phase %-12s %.3fs%s\n", p.Name, p.Seconds, open)
+			}
+			for _, bl := range o.Blocks {
+				fmt.Printf("    blocked at %s: %s\n", bl.At, bl.Reason)
+			}
+		}
+	}
 }
 
 func printConns(conns []api.ConnectionJSON) {

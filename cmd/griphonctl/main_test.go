@@ -38,6 +38,12 @@ func TestCLIEndToEnd(t *testing.T) {
 		{"defrag"},
 		{"maint", "-link", "II-III", "-in", "1m", "-window", "1h"},
 		{"disconnect", "-customer", "acme", "-id", "C0000"},
+		{"events", "-since", "0"},
+		{"alarms"},
+		{"alarms", "-customer", "acme", "-since", "0"},
+		{"sla"},
+		{"sla", "-customer", "acme", "-v"},
+		{"metrics", "-filter", "griphon_sla"},
 	}
 	for _, step := range steps {
 		if err := run(append(append([]string{}, base...), step...)); err != nil {

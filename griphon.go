@@ -5,12 +5,14 @@ import (
 	"io"
 	"time"
 
+	"griphon/internal/alarms"
 	"griphon/internal/bw"
 	"griphon/internal/core"
 	"griphon/internal/inventory"
 	"griphon/internal/journal"
 	"griphon/internal/obs"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 	"griphon/internal/topo"
 )
 
@@ -61,6 +63,20 @@ type Stats = core.Stats
 
 // Maintenance reports what a planned-work window did.
 type Maintenance = core.Maintenance
+
+// AlarmGroup is one correlated alarm group from the customer alarm stream:
+// a synthesized root event (e.g. "fiber cut suspected on I-IV") plus the raw
+// per-circuit children it explains.
+type AlarmGroup = alarms.Group
+
+// SLAReport is a customer's availability report: per-connection up/down
+// accounting with every outage attributed to a root cause.
+type SLAReport = slo.CustomerReport
+
+// FlightDump is a flight-recorder snapshot: the bounded tails of recent
+// events, commit records, alarm groups and spans, plus whatever findings
+// tripped the dump.
+type FlightDump = slo.Dump
 
 // Option configures a Network.
 type Option func(*config)
@@ -140,6 +156,13 @@ func WithFastSetup() Option {
 		c.core.PathCache = true
 		c.core.PreArm = core.PreArm{WarmOTsPerNode: 2, WarmSessions: 2}
 	}
+}
+
+// WithFlightRecorder keeps bounded rings of the last capacity events, commit
+// records and alarm groups, dumpable as JSON via DumpFlight when an invariant
+// audit or a soak assertion trips. Off by default (zero retained state).
+func WithFlightRecorder(capacity int) Option {
+	return func(c *config) { c.core.FlightRecorder = capacity }
 }
 
 // WithStateDir makes the controller's state durable in dir: every committed
@@ -438,6 +461,28 @@ func (n *Network) Events() []Event { return n.ctrl.Events() }
 
 // EventsFor returns the audit log entries for one connection.
 func (n *Network) EventsFor(id ConnID) []Event { return n.ctrl.EventsFor(id) }
+
+// EventsSince returns audit-log entries after the cursor plus the next cursor
+// (len of the log); resuming from it yields no gaps or repeats.
+func (n *Network) EventsSince(cursor int) ([]Event, int) { return n.ctrl.EventsSince(cursor) }
+
+// Alarms returns correlated alarm groups after the seq cursor, projected onto
+// one customer's view ("" = operator sees everything), plus the cursor to
+// resume from.
+func (n *Network) Alarms(since uint64, customer string) ([]AlarmGroup, uint64) {
+	return n.ctrl.AlarmsSince(since, customer)
+}
+
+// SLA assembles a customer's availability report as of the current virtual
+// time. An empty customer is the operator view (every non-internal
+// connection).
+func (n *Network) SLA(customer string) SLAReport { return n.ctrl.SLAReport(customer) }
+
+// DumpFlight snapshots the flight recorder (ok=false without
+// WithFlightRecorder), folding findings into the dump.
+func (n *Network) DumpFlight(reason string, findings []string) (FlightDump, bool) {
+	return n.ctrl.DumpFlight(reason, findings)
+}
 
 // DefragmentSpectrum retunes active wavelengths down to the lowest free
 // channels on their paths (brief per-connection hits), restoring first-fit

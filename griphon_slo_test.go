@@ -1,0 +1,72 @@
+package griphon
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestFaultVisibilityFacade exercises the customer fault-visibility surface
+// end to end: alarm stream, SLA ledger and flight recorder through the
+// public API.
+func TestFaultVisibilityFacade(t *testing.T) {
+	n := newNet(t, WithSeed(44), WithTracing(), WithFlightRecorder(64))
+	conn, err := n.Connect("acme", "DC-A", "DC-C", Rate10G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, cursor := n.EventsSince(0)
+	if len(evs) == 0 {
+		t.Fatal("no events after connect")
+	}
+	if err := n.CutFiber(string(conn.Route().Links[0])); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+	n.Advance(time.Hour)
+
+	groups, next := n.Alarms(0, "acme")
+	if len(groups) != 1 || groups[0].Kind.String() != "fiber-cut" {
+		t.Fatalf("alarm groups = %+v", groups)
+	}
+	if again, _ := n.Alarms(next, "acme"); len(again) != 0 {
+		t.Errorf("cursor replayed %d groups", len(again))
+	}
+	if more, _ := n.EventsSince(cursor); len(more) == 0 {
+		t.Error("no new events after the cut")
+	}
+
+	rep := n.SLA("acme")
+	if len(rep.Conns) != 1 || rep.Unattributed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Availability <= 0 || rep.Availability >= 1 {
+		t.Errorf("availability = %v", rep.Availability)
+	}
+	if rep.Conns[0].Outages[0].Cause.String() != "fiber-cut" {
+		t.Errorf("cause = %v", rep.Conns[0].Outages[0].Cause)
+	}
+
+	dump, ok := n.DumpFlight("facade-test", []string{"demo"})
+	if !ok {
+		t.Fatal("no flight recorder despite WithFlightRecorder")
+	}
+	var buf bytes.Buffer
+	if err := dump.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if round["reason"] != "facade-test" {
+		t.Errorf("dump reason = %v", round["reason"])
+	}
+
+	// Without the option there is no recorder.
+	n2 := newNet(t, WithSeed(45))
+	if _, ok := n2.DumpFlight("x", nil); ok {
+		t.Error("flight recorder present without WithFlightRecorder")
+	}
+}

@@ -46,6 +46,9 @@ type Alarm struct {
 	// Conn is the affected connection's ID ("" for connection-less
 	// equipment alarms).
 	Conn string
+	// Customer owns the affected connection ("" for connection-less or
+	// carrier-internal alarms). Customer-facing streams filter on it.
+	Customer string
 	// Type classifies the alarm.
 	Type Type
 	// Detail is free-form context for operators.

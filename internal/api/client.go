@@ -146,6 +146,37 @@ func (c *Client) Events(conn string) ([]EventJSON, error) {
 	return out, err
 }
 
+// EventsSince fetches audit-log entries after the cursor plus the cursor to
+// resume from.
+func (c *Client) EventsSince(since int) (EventsPage, error) {
+	var out EventsPage
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/v1/events?since=%d", since), nil, &out)
+	return out, err
+}
+
+// Alarms fetches the correlated alarm stream after the seq cursor, filtered
+// to one customer's view ("" = operator).
+func (c *Client) Alarms(customer string, since uint64) (AlarmsResponse, error) {
+	path := fmt.Sprintf("/api/v1/alarms?since=%d", since)
+	if customer != "" {
+		path += "&customer=" + url.QueryEscape(customer)
+	}
+	var out AlarmsResponse
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// SLA fetches a customer's availability report ("" = operator view).
+func (c *Client) SLA(customer string) (SLAJSON, error) {
+	path := "/api/v1/sla"
+	if customer != "" {
+		path += "?customer=" + url.QueryEscape(customer)
+	}
+	var out SLAJSON
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
 // Bill fetches a customer's cumulative usage.
 func (c *Client) Bill(customer string) (BillJSON, error) {
 	var out BillJSON

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +45,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/bill", s.handleBill)
 	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/v1/alarms", s.handleAlarms)
+	mux.HandleFunc("GET /api/v1/sla", s.handleSLA)
 	mux.HandleFunc("POST /api/v1/connect", s.handleConnect)
 	mux.HandleFunc("POST /api/v1/disconnect", s.handleDisconnect)
 	mux.HandleFunc("POST /api/v1/roll", s.handleRoll)
@@ -345,7 +348,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	connFilter := r.URL.Query().Get("conn")
+	q := r.URL.Query()
+
+	// With a since cursor the response is a page ({events, next}); resuming
+	// from next yields no gaps or repeats. The cursor is positional over the
+	// whole log, so it composes with the conn filter only trivially (reject
+	// the combination rather than silently mis-paginate).
+	if sinceStr := q.Get("since"); sinceStr != "" {
+		if q.Get("conn") != "" {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("since and conn cannot be combined"))
+			return
+		}
+		since, err := strconv.Atoi(sinceStr)
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since cursor %q", sinceStr))
+			return
+		}
+		evs, next := s.net.EventsSince(since)
+		page := EventsPage{Events: make([]EventJSON, 0, len(evs)), Next: next}
+		for _, e := range evs {
+			page.Events = append(page.Events, EventJSON{
+				At: e.At.String(), Conn: string(e.Conn), Kind: e.Kind, Text: e.Text,
+			})
+		}
+		s.writeJSON(w, http.StatusOK, page)
+		return
+	}
+
+	connFilter := q.Get("conn")
 	var evs []griphon.Event
 	if connFilter != "" {
 		evs = s.net.EventsFor(griphon.ConnID(connFilter))
@@ -359,6 +389,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := r.URL.Query()
+	var since uint64
+	if sinceStr := q.Get("since"); sinceStr != "" {
+		v, err := strconv.ParseUint(sinceStr, 10, 64)
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since cursor %q", sinceStr))
+			return
+		}
+		since = v
+	}
+	groups, next := s.net.Alarms(since, q.Get("customer"))
+	out := AlarmsResponse{Groups: make([]AlarmGroupJSON, 0, len(groups)), Next: next}
+	for _, g := range groups {
+		out.Groups = append(out.Groups, FromGroup(g))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSLA(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, FromSLAReport(s.net.SLA(r.URL.Query().Get("customer"))))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

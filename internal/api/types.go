@@ -10,9 +10,11 @@ package api
 import (
 	"time"
 
+	"griphon/internal/alarms"
 	"griphon/internal/core"
 	"griphon/internal/rwa"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 	"griphon/internal/topo"
 )
 
@@ -157,6 +159,168 @@ type EventJSON struct {
 	Conn string `json:"conn,omitempty"`
 	Kind string `json:"kind"`
 	Text string `json:"text"`
+}
+
+// EventsPage is the cursored events response (GET /api/v1/events?since=N).
+// Resuming from Next yields no gaps or repeats.
+type EventsPage struct {
+	Events []EventJSON `json:"events"`
+	Next   int         `json:"next"`
+}
+
+// AlarmJSON is one element alarm in a customer's stream.
+type AlarmJSON struct {
+	At       string `json:"at"`
+	Node     string `json:"node"`
+	Conn     string `json:"conn,omitempty"`
+	Customer string `json:"customer,omitempty"`
+	Type     string `json:"type"`
+	Detail   string `json:"detail"`
+}
+
+// AlarmGroupJSON is one correlated alarm group: the synthesized root event
+// plus the per-circuit children it explains.
+type AlarmGroupJSON struct {
+	Seq      uint64      `json:"seq"`
+	At       string      `json:"at"`
+	Kind     string      `json:"kind"`
+	Link     string      `json:"link,omitempty"`
+	Root     AlarmJSON   `json:"root"`
+	Children []AlarmJSON `json:"children"`
+}
+
+// AlarmsResponse is the alarm stream page; resume from Next.
+type AlarmsResponse struct {
+	Groups []AlarmGroupJSON `json:"groups"`
+	Next   uint64           `json:"next"`
+}
+
+func fromAlarm(a alarms.Alarm) AlarmJSON {
+	return AlarmJSON{
+		At: a.At.String(), Node: string(a.Node), Conn: a.Conn,
+		Customer: a.Customer, Type: a.Type.String(), Detail: a.Detail,
+	}
+}
+
+// FromGroup converts a correlated alarm group for the wire.
+func FromGroup(g alarms.Group) AlarmGroupJSON {
+	out := AlarmGroupJSON{
+		Seq: g.Seq, At: g.At.String(), Kind: g.Kind.String(),
+		Link: string(g.Link), Root: fromAlarm(g.Root),
+	}
+	for _, a := range g.Children {
+		out.Children = append(out.Children, fromAlarm(a))
+	}
+	return out
+}
+
+// SLAPhaseJSON is one phase of an outage (phases tile the interval).
+type SLAPhaseJSON struct {
+	Name    string  `json:"name"`
+	Start   string  `json:"start"`
+	Seconds float64 `json:"seconds"`
+	Open    bool    `json:"open,omitempty"`
+}
+
+// SLABlockJSON is one blocked restoration attempt inside an outage.
+type SLABlockJSON struct {
+	At     string `json:"at"`
+	Reason string `json:"reason"`
+}
+
+// SLAOutageJSON is one attributed down interval.
+type SLAOutageJSON struct {
+	Start      string         `json:"start"`
+	End        string         `json:"end,omitempty"`
+	Open       bool           `json:"open,omitempty"`
+	Seconds    float64        `json:"seconds"`
+	Cause      string         `json:"cause"`
+	Link       string         `json:"link,omitempty"`
+	Detail     string         `json:"detail,omitempty"`
+	Resolution string         `json:"resolution,omitempty"`
+	Phases     []SLAPhaseJSON `json:"phases,omitempty"`
+	Blocks     []SLABlockJSON `json:"blocks,omitempty"`
+}
+
+// SLAConnJSON is one connection's row in the availability report.
+type SLAConnJSON struct {
+	ID           string          `json:"id"`
+	Customer     string          `json:"customer"`
+	Activated    string          `json:"activated"`
+	Released     string          `json:"released,omitempty"`
+	Degraded     bool            `json:"degraded,omitempty"`
+	LifetimeS    float64         `json:"lifetime_seconds"`
+	DowntimeS    float64         `json:"downtime_seconds"`
+	Availability float64         `json:"availability"`
+	Outages      []SLAOutageJSON `json:"outages,omitempty"`
+}
+
+// SLAJSON is a customer's availability report.
+type SLAJSON struct {
+	Customer     string        `json:"customer,omitempty"`
+	Now          string        `json:"now"`
+	LifetimeS    float64       `json:"lifetime_seconds"`
+	DowntimeS    float64       `json:"downtime_seconds"`
+	Availability float64       `json:"availability"`
+	Outages      int           `json:"outages"`
+	Unattributed int           `json:"unattributed"`
+	Conns        []SLAConnJSON `json:"connections"`
+}
+
+// FromSLAReport converts a ledger report for the wire.
+func FromSLAReport(rep slo.CustomerReport) SLAJSON {
+	out := SLAJSON{
+		Customer:     rep.Customer,
+		Now:          rep.Now.String(),
+		LifetimeS:    rep.TotalLifetime.Seconds(),
+		DowntimeS:    rep.TotalDowntime.Seconds(),
+		Availability: rep.Availability,
+		Outages:      rep.OutageCount,
+		Unattributed: rep.Unattributed,
+	}
+	for _, cr := range rep.Conns {
+		cj := SLAConnJSON{
+			ID:           cr.Conn,
+			Customer:     cr.Customer,
+			Activated:    cr.ActivatedAt.String(),
+			Degraded:     cr.Degraded,
+			LifetimeS:    cr.Lifetime.Seconds(),
+			DowntimeS:    cr.Downtime.Seconds(),
+			Availability: cr.Availability,
+		}
+		if cr.Released {
+			cj.Released = cr.ReleasedAt.String()
+		}
+		for _, o := range cr.Outages {
+			oj := SLAOutageJSON{
+				Start:      o.Start.String(),
+				Open:       o.Open,
+				Seconds:    o.Duration(rep.Now).Seconds(),
+				Cause:      o.Cause.String(),
+				Link:       string(o.Link),
+				Detail:     o.Detail,
+				Resolution: o.Resolution,
+			}
+			if !o.Open {
+				oj.End = o.End.String()
+			}
+			for _, p := range o.Phases {
+				pj := SLAPhaseJSON{Name: p.Name, Start: p.Start.String(), Open: p.Open}
+				if !p.Open {
+					pj.Seconds = p.Duration().Seconds()
+				} else {
+					pj.Seconds = rep.Now.Sub(p.Start).Seconds()
+				}
+				oj.Phases = append(oj.Phases, pj)
+			}
+			for _, b := range o.Blocks {
+				oj.Blocks = append(oj.Blocks, SLABlockJSON{At: b.At.String(), Reason: b.Reason})
+			}
+			cj.Outages = append(cj.Outages, oj)
+		}
+		out.Conns = append(out.Conns, cj)
+	}
+	return out
 }
 
 // TopologyJSON describes the network for display.

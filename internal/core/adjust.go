@@ -9,6 +9,7 @@ import (
 	"griphon/internal/obs"
 	"griphon/internal/otn"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 )
 
 // AdjustRate changes an active connection's bandwidth in place — the paper's
@@ -172,10 +173,10 @@ func (c *Controller) adjustWavelength(conn *Connection, newRate bw.Rate, parent 
 	}
 	// Re-framing the line briefly interrupts traffic.
 	hit := c.jit(c.lat.ProtectionSwitch)
-	conn.beginOutage(c.k.Now())
+	c.connDown(conn, slo.CauseAdjust, "", "rate re-frame hit", "hit")
 	out := c.k.NewJob()
 	c.k.After(hit, func() {
-		conn.endOutage(c.k.Now())
+		c.connUp(conn, "adjust-done")
 		batch := c.roadmEMS.SubmitBatch([]ems.Command{
 			{Name: "rate-retune", Dur: c.jit(c.lat.LaserTune), Span: parent},
 			{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: parent},

@@ -18,6 +18,7 @@ import (
 	"griphon/internal/roadm"
 	"griphon/internal/rwa"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 	"griphon/internal/topo"
 )
 
@@ -86,6 +87,14 @@ type Config struct {
 	// SnapshotEvery sets the snapshot cadence in WAL appends (default 256;
 	// negative disables snapshots). Ignored without Journal.
 	SnapshotEvery int
+	// FlightRecorder, when positive, keeps bounded rings of that many recent
+	// events, journal commit records and alarm groups, dumpable to JSON when
+	// an invariant audit or the chaos soak trips (Controller.DumpFlight).
+	// Zero disables it.
+	FlightRecorder int
+	// AlarmLogSize bounds the correlated alarm-group log backing the
+	// customer alarm stream (default 512).
+	AlarmLogSize int
 }
 
 // Controller is the GRIPhoN controller: the only component that talks to the
@@ -121,6 +130,13 @@ type Controller struct {
 	autoRepair bool
 	autoRevert bool
 	repairing  map[topo.LinkID]bool
+	// maint marks links being cut by a maintenance window, so the hits they
+	// cause attribute to planned work rather than a plant failure.
+	maint map[topo.LinkID]bool
+
+	sla      *slo.Ledger
+	alarmLog *alarms.Log
+	flight   *slo.FlightRecorder
 
 	retry        RetryPolicy
 	faultModel   *faults.Model
@@ -207,6 +223,7 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		autoRepair:   cfg.AutoRepair,
 		autoRevert:   cfg.AutoRevert,
 		repairing:    make(map[topo.LinkID]bool),
+		maint:        make(map[topo.LinkID]bool),
 		pipeCarrier:  make(map[otn.PipeID]ConnID),
 		pendingPipes: make(map[string]*sim.Job),
 		degradeToOTN: cfg.DegradeToOTN,
@@ -252,6 +269,18 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		c.fxcEMS[n.ID] = m
 	}
 	c.initObs()
+	c.sla = slo.New(c.reg)
+	logSize := cfg.AlarmLogSize
+	if logSize <= 0 {
+		logSize = 512
+	}
+	c.alarmLog = alarms.NewLog(logSize)
+	if cfg.FlightRecorder > 0 {
+		c.flight = slo.NewFlightRecorder(cfg.FlightRecorder, c.reg)
+		c.flight.AttachLedger(c.sla)
+		tail := cfg.FlightRecorder
+		c.flight.AttachSpans(func() []slo.SpanRecord { return c.spanTail(tail) })
+	}
 	c.correlator = alarms.NewCorrelator(k, window, c.onAlarmBatch)
 	return c, nil
 }
@@ -353,12 +382,28 @@ func (c *Controller) EventsFor(id ConnID) []Event {
 }
 
 func (c *Controller) log(conn ConnID, kind, format string, args ...any) {
-	c.events = append(c.events, Event{
+	e := Event{
 		At:   c.k.Now(),
 		Conn: conn,
 		Kind: kind,
 		Text: fmt.Sprintf(format, args...),
-	})
+	}
+	c.events = append(c.events, e)
+	if c.flight != nil {
+		c.flight.Event(e.At, string(e.Conn), e.Kind, e.Text)
+	}
+}
+
+// EventsSince returns audit entries from index cursor on, plus the cursor to
+// resume from — the incremental form of Events for polling clients.
+func (c *Controller) EventsSince(cursor int) ([]Event, int) {
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(c.events) {
+		cursor = len(c.events)
+	}
+	return append([]Event(nil), c.events[cursor:]...), len(c.events)
 }
 
 func (c *Controller) newConnID() ConnID {

@@ -7,6 +7,7 @@ import (
 	"griphon/internal/inventory"
 	"griphon/internal/obs"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 )
 
 // DefragmentSpectrum re-tunes active wavelengths down to the lowest channels
@@ -103,9 +104,9 @@ func (c *Controller) retuneDown(conn *Connection) bool {
 func (c *Controller) retuneJob(conn *Connection, parent obs.SpanRef) *sim.Job {
 	out := c.k.NewJob()
 	hit := c.jit(c.lat.ProtectionSwitch)
-	conn.beginOutage(c.k.Now())
+	c.connDown(conn, slo.CauseDefrag, "", "defrag retune hit", "hit")
 	c.k.After(hit, func() {
-		conn.endOutage(c.k.Now())
+		c.connUp(conn, "retune-done")
 		c.roadmEMS.SubmitBatch([]ems.Command{
 			{Name: fmt.Sprintf("defrag-retune:%s", conn.ID), Dur: c.jit(c.lat.LaserTune), Span: parent},
 			{Name: "verify", Dur: c.jit(c.lat.VerifyEndToEnd), Span: parent},

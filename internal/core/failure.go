@@ -67,11 +67,15 @@ func (c *Controller) hitByCut(conn *Connection, link topo.LinkID) {
 	}
 
 	if conn.Protect == OnePlusOne {
-		c.protectionSwitch(conn)
+		c.protectionSwitch(conn, link)
 		return
 	}
 
-	conn.beginOutage(c.k.Now())
+	phase := "detect"
+	if conn.Protect != Restore {
+		phase = "repair-wait" // unprotected: down until the fiber is repaired
+	}
+	c.connDown(conn, c.cutCause(link), link, fmt.Sprintf("working path lost on %s", link), phase)
 	conn.State = StateDown
 	conn.stable = StateDown
 	if conn.Protect == Restore {
@@ -82,7 +86,7 @@ func (c *Controller) hitByCut(conn *Connection, link topo.LinkID) {
 		conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:detect")
 	}
 	c.log(conn.ID, "down", "working path lost on %s", link)
-	c.failCarriedPipe(conn)
+	c.failCarriedPipe(conn, link)
 
 	// LOS alarms from both terminating ROADMs reach the controller after
 	// the alarm latency and enter the correlation window.
@@ -90,30 +94,31 @@ func (c *Controller) hitByCut(conn *Connection, link topo.LinkID) {
 	c.k.After(c.jit(c.lat.AlarmLatency), func() {
 		c.correlator.Observe(alarms.Alarm{
 			At: c.k.Now(), Node: path.Src(), Conn: string(conn.ID),
-			Type: alarms.LOS, Detail: "loss of light",
+			Customer: string(conn.Customer), Type: alarms.LOS, Detail: "loss of light",
 		})
 		c.correlator.Observe(alarms.Alarm{
 			At: c.k.Now(), Node: path.Dst(), Conn: string(conn.ID),
-			Type: alarms.LOS, Detail: "loss of light",
+			Customer: string(conn.Customer), Type: alarms.LOS, Detail: "loss of light",
 		})
 	})
 }
 
 // protectionSwitch performs the autonomous 1+1 tail-end switch: if the other
 // leg is healthy, traffic moves to it in ~50 ms with no controller handshake.
-func (c *Controller) protectionSwitch(conn *Connection) {
+func (c *Controller) protectionSwitch(conn *Connection, link topo.LinkID) {
 	var target *lightpath
 	if conn.onProtect {
 		target = conn.path
 	} else {
 		target = conn.protect
 	}
-	conn.beginOutage(c.k.Now())
+	c.connDown(conn, c.cutCause(link), link, fmt.Sprintf("1+1 working leg lost on %s", link), "switch")
 	if target == nil || !c.plant.PathUp(target.route.Path) {
 		conn.State = StateDown
 		conn.stable = StateDown
+		c.slaPhase(conn, "repair-wait")
 		c.log(conn.ID, "down", "both 1+1 legs lost")
-		c.failCarriedPipe(conn)
+		c.failCarriedPipe(conn, link)
 		return
 	}
 	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:protect-switch")
@@ -131,8 +136,10 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 			if conn.State == StateActive {
 				conn.State = StateDown
 				conn.stable = StateDown
+				c.slaPhase(conn, "repair-wait")
+				c.slaBlock(conn, "standby leg lost during switch window")
 				c.log(conn.ID, "down", "both 1+1 legs lost")
-				c.failCarriedPipe(conn)
+				c.failCarriedPipe(conn, link)
 				conns, pipes := c.carriedEntities(conn)
 				c.journalCommit(commitSet{reason: "protect-switch-failed", conns: conns, pipes: pipes})
 			}
@@ -142,7 +149,7 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 		conn.onProtect = !conn.onProtect
 		conn.State = StateActive
 		conn.stable = StateActive
-		conn.endOutage(c.k.Now())
+		c.connUp(conn, "protect-switch")
 		conn.opSpan.End()
 		c.ins.protSwitches.Inc()
 		c.log(conn.ID, "protect-switch", "traffic on %s leg", map[bool]string{true: "protect", false: "working"}[conn.onProtect])
@@ -151,7 +158,8 @@ func (c *Controller) protectionSwitch(conn *Connection) {
 }
 
 // failCarriedPipe propagates a carrier wavelength failure into the OTN layer.
-func (c *Controller) failCarriedPipe(conn *Connection) {
+// link names the cut fiber that killed the carrier, for outage attribution.
+func (c *Controller) failCarriedPipe(conn *Connection, link topo.LinkID) {
 	if !conn.Internal || conn.carries == "" {
 		return
 	}
@@ -162,18 +170,18 @@ func (c *Controller) failCarriedPipe(conn *Connection) {
 	pipe.SetUp(false)
 	c.log(conn.ID, "pipe-down", "pipe %s lost its wavelength", pipe.ID())
 	for _, circuit := range c.circuitsOnPipe(pipe.ID()) {
-		c.failCircuit(circuit, pipe.ID())
+		c.failCircuit(circuit, pipe.ID(), link)
 	}
 }
 
 // failCircuit handles an OTN circuit losing one of its pipes: shared-mesh
 // activation when a backup exists (sub-second), otherwise the circuit waits
 // for the pipe to be restored.
-func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
+func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID, link topo.LinkID) {
 	if conn.State != StateActive {
 		return
 	}
-	conn.beginOutage(c.k.Now())
+	c.connDown(conn, c.cutCause(link), link, fmt.Sprintf("pipe %s failed", pipe), "detect")
 	conn.State = StateDown
 	conn.stable = StateDown
 	conn.opSpan = c.tr.Start(obs.SpanRef{}, "op:restore")
@@ -185,12 +193,15 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 		// op:restore stays open: it closes when the DWDM layer restores
 		// the pipe and the circuit revives.
 		conn.phaseSpan.EndOutcome("no-backup")
+		c.slaPhase(conn, "repair-wait")
 		return // wait for DWDM-layer restoration of the pipe
 	}
 	// Backup must itself be alive.
 	for _, p := range conn.backup {
 		if !p.Up() {
 			conn.phaseSpan.EndOutcome("blocked")
+			c.slaPhase(conn, "repair-wait")
+			c.slaBlock(conn, fmt.Sprintf("shared-mesh backup pipe %s also down", p.ID()))
 			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "shared-mesh backup pipe %s also down", p.ID())
 			return
@@ -203,9 +214,12 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 		}
 		conn.phaseSpan.End()
 		conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:activate")
+		c.slaPhase(conn, "activate")
 		if err := otn.ActivatePath(conn.backup, string(conn.ID)); err != nil {
 			conn.phaseSpan.EndOutcome("blocked")
 			conn.opSpan.EndOutcome("blocked")
+			c.slaPhase(conn, "repair-wait")
+			c.slaBlock(conn, fmt.Sprintf("shared-mesh activation failed: %v", err))
 			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "shared-mesh activation failed: %v", err)
 			return
@@ -223,7 +237,7 @@ func (c *Controller) failCircuit(conn *Connection, pipe otn.PipeID) {
 			d := c.k.Now().Sub(conn.outageStart)
 			conn.State = StateActive
 			conn.stable = StateActive
-			conn.endOutage(c.k.Now())
+			c.connUp(conn, "mesh-restored")
 			conn.Restorations++
 			conn.phaseSpan.End()
 			conn.opSpan.End()
@@ -261,7 +275,7 @@ func (c *Controller) RepairFiber(link topo.LinkID) error {
 			if lp != nil && c.plant.PathUp(lp.route.Path) {
 				conn.State = StateActive
 				conn.stable = StateActive
-				conn.endOutage(c.k.Now())
+				c.connUp(conn, "revived")
 				conn.phaseSpan.EndOutcome("revived")
 				conn.opSpan.EndOutcome("revived")
 				c.log(conn.ID, "revived", "working path whole again after repair")
@@ -278,7 +292,7 @@ func (c *Controller) RepairFiber(link topo.LinkID) error {
 					conn.onProtect = !conn.onProtect
 					conn.State = StateActive
 					conn.stable = StateActive
-					conn.endOutage(c.k.Now())
+					c.connUp(conn, "revived")
 					c.log(conn.ID, "revived", "switched to repaired leg")
 				}
 			}
@@ -337,7 +351,7 @@ func (c *Controller) reviveCircuitIfWhole(conn *Connection) {
 	}
 	conn.State = StateActive
 	conn.stable = StateActive
-	conn.endOutage(c.k.Now())
+	c.connUp(conn, "revived")
 	conn.phaseSpan.EndOutcome("revived")
 	conn.opSpan.EndOutcome("revived")
 	c.log(conn.ID, "revived", "all pipes whole again")
@@ -389,6 +403,7 @@ func (c *Controller) onAlarmBatch(batch []alarms.Alarm) {
 	}
 	suspects := alarms.PrimarySuspects(alarms.Localize(alarmedPaths, healthyPaths))
 	c.log("", "localized", "%d alarms -> suspects %v", len(batch), suspects)
+	c.recordAlarmBatch(batch, suspects)
 
 	// The correlated alarms have arrived: detection is over, localization
 	// begins — the phase spans tile the op:restore interval exactly.
@@ -396,6 +411,7 @@ func (c *Controller) onAlarmBatch(batch []alarms.Alarm) {
 		if conn.State == StateDown && conn.Protect == Restore {
 			conn.phaseSpan.End()
 			conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:localize")
+			c.slaPhase(conn, "localize")
 		}
 	}
 
@@ -422,6 +438,7 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 	// choreography and verification until the outage ends.
 	conn.phaseSpan.End()
 	conn.phaseSpan = c.tr.Start(conn.opSpan, "restore:provision")
+	c.slaPhase(conn, "provision")
 	avoid := map[topo.LinkID]bool{}
 	for _, l := range suspects {
 		avoid[l] = true
@@ -431,6 +448,8 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 	if err != nil {
 		conn.phaseSpan.EndOutcome("blocked")
 		conn.opSpan.EndOutcome("blocked")
+		c.slaPhase(conn, "repair-wait")
+		c.slaBlock(conn, fmt.Sprintf("no restoration path: %v", err))
 		c.ins.restoreBlocked.Inc()
 		c.log(conn.ID, "restore-blocked", "no restoration path: %v", err)
 		return // stays Down; revived on repair
@@ -449,6 +468,8 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 			conn.State = StateDown
 			conn.phaseSpan.EndOutcome("blocked")
 			conn.opSpan.EndOutcome("blocked")
+			c.slaPhase(conn, "repair-wait")
+			c.slaBlock(conn, fmt.Sprintf("EMS failure: %v", err))
 			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "EMS failure: %v", err)
 			return
@@ -459,6 +480,8 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 			conn.State = StateDown
 			conn.phaseSpan.EndOutcome("blocked")
 			conn.opSpan.EndOutcome("blocked")
+			c.slaPhase(conn, "repair-wait")
+			c.slaBlock(conn, "restoration path failed during setup")
 			c.ins.restoreBlocked.Inc()
 			c.log(conn.ID, "restore-blocked", "restoration path failed during setup")
 			return
@@ -469,7 +492,7 @@ func (c *Controller) startRestoration(conn *Connection, suspects []topo.LinkID) 
 		d := c.k.Now().Sub(conn.outageStart)
 		conn.State = StateActive
 		conn.stable = StateActive
-		conn.endOutage(c.k.Now())
+		c.connUp(conn, "restored")
 		conn.Restorations++
 		conn.phaseSpan.End()
 		conn.opSpan.End()

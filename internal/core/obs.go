@@ -1,6 +1,7 @@
 package core
 
 import (
+	"griphon/internal/alarms"
 	"griphon/internal/ems"
 	"griphon/internal/obs"
 	"griphon/internal/sim"
@@ -36,6 +37,10 @@ type instruments struct {
 	setupGroomed     *obs.Counter
 	bookingCloseErrs *obs.Counter
 	journalErrs      *obs.Counter
+
+	// Indexed by alarms.Type and alarms.GroupKind respectively.
+	alarmsObserved [3]*obs.Counter
+	alarmGroups    [3]*obs.Counter
 
 	pathcacheHits          *obs.Counter
 	pathcacheMisses        *obs.Counter
@@ -106,6 +111,18 @@ func (c *Controller) initObs() {
 		"Disconnect errors hit while closing booking windows (including retried ones).")
 	c.ins.journalErrs = r.Counter("griphon_journal_errors_total",
 		"Journal writes that failed; the controller keeps running on memory.")
+	c.ins.alarmsObserved[alarms.LOS] = r.Counter("griphon_alarms_total",
+		"Element alarms entering the correlator, by type.", "type", "los")
+	c.ins.alarmsObserved[alarms.LOF] = r.Counter("griphon_alarms_total",
+		"Element alarms entering the correlator, by type.", "type", "lof")
+	c.ins.alarmsObserved[alarms.EquipmentFail] = r.Counter("griphon_alarms_total",
+		"Element alarms entering the correlator, by type.", "type", "eqpt")
+	c.ins.alarmGroups[alarms.GroupFiberCut] = r.Counter("griphon_alarms_groups_total",
+		"Correlated alarm groups emitted, by root-cause kind.", "kind", "fiber_cut")
+	c.ins.alarmGroups[alarms.GroupEquipment] = r.Counter("griphon_alarms_groups_total",
+		"Correlated alarm groups emitted, by root-cause kind.", "kind", "equipment")
+	c.ins.alarmGroups[alarms.GroupService] = r.Counter("griphon_alarms_groups_total",
+		"Correlated alarm groups emitted, by root-cause kind.", "kind", "service")
 	c.ins.pathcacheHits = r.Counter("griphon_pathcache_lookups_total",
 		"Path-cache lookups on cache-eligible route requests, by result.", "result", "hit")
 	c.ins.pathcacheMisses = r.Counter("griphon_pathcache_lookups_total",

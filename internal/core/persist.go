@@ -445,11 +445,13 @@ type commitSet struct {
 }
 
 // journalCommit appends one commit record for cs and snapshots on cadence.
-// With no journal configured it is a no-op. Journal write failures are
-// surfaced as a counter and an audit-log event, never a crash: the network
-// keeps running on the in-memory database, as the paper's controller would.
+// With no journal configured it is a no-op (except for feeding the flight
+// recorder, which tails commit records whether or not they hit disk).
+// Journal write failures are surfaced as a counter and an audit-log event,
+// never a crash: the network keeps running on the in-memory database, as the
+// paper's controller would.
 func (c *Controller) journalCommit(cs commitSet) {
-	if c.jrnl == nil {
+	if c.jrnl == nil && c.flight == nil {
 		return
 	}
 	rec := commitRec{
@@ -508,6 +510,12 @@ func (c *Controller) journalCommit(cs commitSet) {
 	if err != nil {
 		c.ins.journalErrs.Inc()
 		c.log("", "journal-error", "encoding %s commit: %v", cs.reason, err)
+		return
+	}
+	if c.flight != nil {
+		c.flight.Commit(c.k.Now(), cs.reason, data)
+	}
+	if c.jrnl == nil {
 		return
 	}
 	if _, err := c.jrnl.Append(recKindCommit, data); err != nil {

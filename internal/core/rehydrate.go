@@ -10,6 +10,7 @@ import (
 	"griphon/internal/inventory"
 	"griphon/internal/otn"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 	"griphon/internal/topo"
 )
 
@@ -209,14 +210,19 @@ func (c *Controller) restoreConn(r connRec) error {
 	}
 
 	// Meters and outage clocks restart at the recovery instant (persist.go
-	// excludes them from the durable state).
+	// excludes them from the durable state). The SLA ledger restarts with
+	// them: downtime that straddles a restart is attributed to the recovery
+	// instant, never left unexplained.
 	switch conn.State {
 	case StateActive:
 		conn.metering = true
 		conn.meterAt = c.k.Now()
+		c.sla.Activate(string(conn.ID), string(conn.Customer), c.k.Now(), conn.Degraded, conn.Internal)
 	case StateDown:
 		conn.metering = true
 		conn.meterAt = c.k.Now()
+		c.sla.Activate(string(conn.ID), string(conn.Customer), c.k.Now(), conn.Degraded, conn.Internal)
+		c.sla.Down(string(conn.ID), c.k.Now(), slo.CauseRecovery, "", "outage clock restarted at recovery", "repair-wait")
 		conn.inOutage = true
 		conn.outageStart = c.k.Now()
 	}

@@ -7,6 +7,7 @@ import (
 	"griphon/internal/obs"
 	"griphon/internal/rwa"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 	"griphon/internal/topo"
 )
 
@@ -73,9 +74,9 @@ func (c *Controller) bridgeAndRoll(conn *Connection, avoid map[topo.LinkID]bool)
 		// Roll: an almost-hitless switch of traffic onto the bridge.
 		hit := c.jit(c.lat.RollHit)
 		hitSp := c.tr.Start(rollSp, "roll:hit")
-		conn.beginOutage(c.k.Now())
+		c.connDown(conn, slo.CauseRoll, "", "bridge-and-roll traffic hit", "hit")
 		c.k.After(hit, func() {
-			conn.endOutage(c.k.Now())
+			c.connUp(conn, "roll-done")
 			hitSp.End()
 			oldWorking := conn.working()
 			c.releaseLightpathMiddle(oldWorking)
@@ -148,8 +149,13 @@ func (c *Controller) ScheduleMaintenance(link topo.LinkID, at sim.Time, window s
 func (c *Controller) startMaintenanceWindow(m *Maintenance, out *sim.Job) {
 	link := m.Link
 	if c.plant.LinkUp(link) {
-		// Anything still on the link takes an unplanned-style hit.
+		// Anything still on the link takes an unplanned-style hit — but the
+		// SLA ledger attributes it to planned work, not a plant failure.
+		// Attribution happens synchronously inside CutFiber, so the marker
+		// can be cleared immediately.
+		c.maint[link] = true
 		c.CutFiber(link) //lint:allow errcheck link verified at scheduling
+		delete(c.maint, link)
 	}
 	c.k.After(m.Window, func() {
 		if !c.plant.LinkUp(link) {
@@ -235,9 +241,9 @@ func (c *Controller) RevertProtect(cust inventory.Customer, id ConnID) (*sim.Job
 	}
 	out := c.k.NewJob()
 	hit := c.jit(c.lat.ProtectionSwitch)
-	conn.beginOutage(c.k.Now())
+	c.connDown(conn, slo.CauseRoll, "", "revert to repaired working leg", "hit")
 	c.k.After(hit, func() {
-		conn.endOutage(c.k.Now())
+		c.connUp(conn, "revert-done")
 		conn.onProtect = false
 		c.log(id, "revert", "traffic back on working leg (hit %v)", hit)
 		c.journalCommit(commitSet{reason: "revert-protect", conns: []*Connection{conn}})

@@ -322,6 +322,7 @@ func (c *Controller) finishSetup(conn *Connection, err error) {
 	conn.ActiveAt = c.k.Now()
 	conn.metering = true
 	conn.meterAt = c.k.Now()
+	c.sla.Activate(string(conn.ID), string(conn.Customer), c.k.Now(), conn.Degraded, conn.Internal)
 	conn.opSpan.End()
 	if conn.Internal {
 		c.ins.pipeBuilds.Inc()
@@ -611,7 +612,8 @@ func (c *Controller) Disconnect(cust inventory.Customer, id ConnID) (*sim.Job, e
 		c.ins.teardownSecs.ObserveDuration(job.Elapsed())
 		pipes := touchedPipes(conn)
 		c.releaseConnResources(conn)
-		conn.endOutage(c.k.Now())
+		c.connUp(conn, "released")
+		c.sla.Release(string(conn.ID), c.k.Now())
 		conn.State = StateReleased
 		conn.stable = StateReleased
 		conn.ReleasedAt = c.k.Now()

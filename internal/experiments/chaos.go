@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"griphon/internal/faults"
 	"griphon/internal/metrics"
 	"griphon/internal/sim"
+	"griphon/internal/slo"
 	"griphon/internal/topo"
 )
 
@@ -39,6 +42,9 @@ func ChaosN(seed int64, steps int) (Result, error) {
 		Choreography: core.ChoreoGraph,
 		PathCache:    true,
 		PreArm:       core.PreArm{WarmOTsPerNode: 1, WarmSessions: 2},
+		// Keep the flight recorder rolling so a tripped audit or SLA check
+		// can dump the last events/commits/alarm groups for post-mortem.
+		FlightRecorder: 256,
 	})
 	if err != nil {
 		return Result{}, err
@@ -57,6 +63,7 @@ func ChaosN(seed int64, steps int) (Result, error) {
 	}
 
 	var live []*core.Connection
+	cuts := map[topo.LinkID][]sim.Time{}
 	connects, blocked := 0, 0
 	for step := 0; step < steps; step++ {
 		op := "noop"
@@ -106,6 +113,9 @@ func ChaosN(seed int64, steps int) (Result, error) {
 			links := ctrl.Graph().Links()
 			l := links[rng.Intn(len(links))]
 			if ctrl.Plant().LinkUp(l.ID) {
+				// Record the injection instant: the SLA pass below requires
+				// every fiber-cut outage to anchor to one of these.
+				cuts[l.ID] = append(cuts[l.ID], k.Now())
 				ctrl.CutFiber(l.ID) //lint:allow errcheck verified up
 			}
 		case 7: // roll or regroom a wavelength
@@ -136,6 +146,15 @@ func ChaosN(seed int64, steps int) (Result, error) {
 	k.Run()
 	audit(steps, "final drain")
 
+	// Close the fault-visibility loop: with every event drained, the SLA
+	// ledger's attributed intervals must tile the injected failure windows in
+	// virtual time — zero unattributed downtime, and the ledger's accounting
+	// byte-identical to the controller's own outage clocks.
+	slaBad := verifySLA(ctrl, k.Now(), cuts)
+	for _, line := range slaBad {
+		res.notef("SLA %s", line)
+	}
+
 	stats := ctrl.FaultModel().Stats()
 	snap := ctrl.Snapshot()
 	mv := func(name, labelSub string) float64 {
@@ -162,6 +181,9 @@ func ChaosN(seed int64, steps int) (Result, error) {
 	tb.Row("setups rerouted", mv("griphon_setup_degraded_total", `mode="reroute"`))
 	tb.Row("setups groomed", mv("griphon_setup_degraded_total", `mode="groomed"`))
 	tb.Row("restorations", mv("griphon_restorations_total", `outcome="restored"`))
+	tb.Row("SLA outages attributed", mv("griphon_sla_outages_total", ""))
+	tb.Row("SLA unattributed outages", mv("griphon_sla_unattributed_total", ""))
+	tb.Row("SLA findings", float64(len(slaBad)))
 	tb.Row("audit findings", float64(findings))
 	res.Tables = append(res.Tables, tb)
 
@@ -174,12 +196,89 @@ func ChaosN(seed int64, steps int) (Result, error) {
 	res.value("rerouted", mv("griphon_setup_degraded_total", `mode="reroute"`))
 	res.value("groomed", mv("griphon_setup_degraded_total", `mode="groomed"`))
 	res.value("audit_findings", float64(findings))
+	res.value("sla_findings", float64(len(slaBad)))
+	res.value("sla_outages", mv("griphon_sla_outages_total", ""))
+	res.value("unattributed", mv("griphon_sla_unattributed_total", ""))
 	res.value("final_active", float64(snap.Active))
-	if findings == 0 {
-		res.notef("books balanced after every one of %d operations under %d injected faults",
-			steps, stats.Transients+stats.Persistents)
+	if findings+len(slaBad) > 0 {
+		// Something tripped: dump the flight recorder so the failure carries
+		// its own post-mortem (recent events, commits, alarm groups, spans).
+		if dump, ok := ctrl.DumpFlight("chaos-soak", append([]string(nil), res.Notes...)); ok {
+			var buf bytes.Buffer
+			if err := dump.WriteJSON(&buf); err == nil {
+				res.artifact("flight.json", buf.Bytes())
+			}
+		}
+	}
+	if findings == 0 && len(slaBad) == 0 {
+		res.notef("books balanced after every one of %d operations under %d injected faults; "+
+			"SLA ledger tiles all %d injected cut windows with zero unattributed downtime",
+			steps, stats.Transients+stats.Persistents, len(cuts))
 	} else {
-		res.notef("INVARIANT VIOLATIONS: %d findings — see notes above", findings)
+		res.notef("VIOLATIONS: %d audit findings, %d SLA findings — see notes above", findings, len(slaBad))
 	}
 	return res, nil
+}
+
+// verifySLA sweeps the availability ledger after the soak's final drain and
+// returns one line per violation of the fault-visibility contract:
+//
+//   - ledger downtime equals Connection.Outage to the virtual nanosecond;
+//   - no outage interval is still open once every event has drained;
+//   - every interval carries a root cause (never CauseUnknown);
+//   - every fiber-cut interval starts at one of the recorded injection
+//     instants on its named link;
+//   - closed phases tile each interval contiguously from start to end.
+func verifySLA(ctrl *core.Controller, now sim.Time, cuts map[topo.LinkID][]sim.Time) []string {
+	var bad []string
+	oops := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	led := ctrl.SLA()
+	for _, id := range led.Conns() {
+		conn := ctrl.Conn(core.ConnID(id))
+		if conn == nil {
+			oops("conn %s: ledger tracks a connection the controller does not know", id)
+			continue
+		}
+		if got, want := led.Downtime(id, now), conn.Outage(now); got != want {
+			oops("conn %s: ledger downtime %v != controller outage %v", id, got, want)
+		}
+		for i, o := range led.Outages(id) {
+			if o.Open {
+				oops("conn %s outage %d: still open after final drain (%v)", id, i, o)
+			}
+			if o.Cause == slo.CauseUnknown {
+				oops("conn %s outage %d: unattributed (%v)", id, i, o)
+			}
+			if o.Cause == slo.CauseFiberCut && !cutAt(cuts[o.Link], o.Start) {
+				oops("conn %s outage %d: fiber-cut start %v matches no injected cut on %s",
+					id, i, o.Start, o.Link)
+			}
+			at := o.Start
+			for j, p := range o.Phases {
+				if p.Open {
+					oops("conn %s outage %d: phase %q still open in a closed interval", id, i, p.Name)
+					break
+				}
+				if p.Start != at {
+					oops("conn %s outage %d phase %d (%q): starts at %v, previous ended at %v",
+						id, i, j, p.Name, p.Start, at)
+				}
+				at = p.End
+			}
+			if len(o.Phases) > 0 && !o.Open && at != o.End {
+				oops("conn %s outage %d: phases end at %v, interval at %v", id, i, at, o.End)
+			}
+		}
+	}
+	return bad
+}
+
+// cutAt reports whether at is one of the recorded injection instants.
+func cutAt(times []sim.Time, at sim.Time) bool {
+	for _, t := range times {
+		if t == at {
+			return true
+		}
+	}
+	return false
 }

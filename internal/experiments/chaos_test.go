@@ -21,6 +21,18 @@ func TestChaosSoak(t *testing.T) {
 			}
 			t.Fatalf("seed %d: %v invariant findings after %d ops", seed, got, steps)
 		}
+		if got := res.Values["sla_findings"]; got != 0 {
+			for _, n := range res.Notes {
+				t.Log(n)
+			}
+			t.Fatalf("seed %d: %v SLA ledger findings after %d ops", seed, got, steps)
+		}
+		if got := res.Values["unattributed"]; got != 0 {
+			t.Errorf("seed %d: %v unattributed outages — every interval must carry a root cause", seed, got)
+		}
+		if res.Values["sla_outages"] == 0 {
+			t.Errorf("seed %d: ledger closed no outages; SLA soak saw no failures", seed)
+		}
 		if res.Values["decisions"] == 0 {
 			t.Errorf("seed %d: fault model saw no EMS commands; soak misconfigured", seed)
 		}

@@ -25,6 +25,10 @@ type Result struct {
 	Notes []string
 	// Values exposes named scalar results for programmatic checks.
 	Values map[string]float64
+	// Artifacts holds named file payloads an experiment produces on failure
+	// (e.g. the chaos soak's flight-recorder dump); cmd/griphon-bench writes
+	// them to disk.
+	Artifacts map[string][]byte
 }
 
 func (r *Result) value(name string, v float64) {
@@ -32,6 +36,13 @@ func (r *Result) value(name string, v float64) {
 		r.Values = map[string]float64{}
 	}
 	r.Values[name] = v
+}
+
+func (r *Result) artifact(name string, b []byte) {
+	if r.Artifacts == nil {
+		r.Artifacts = map[string][]byte{}
+	}
+	r.Artifacts[name] = b
 }
 
 func (r *Result) notef(format string, args ...any) {

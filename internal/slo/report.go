@@ -1,0 +1,90 @@
+package slo
+
+import (
+	"griphon/internal/sim"
+)
+
+// ConnReport is one connection's availability accounting — the row of the
+// customer's SLA report.
+type ConnReport struct {
+	Conn        string
+	Customer    string
+	ActivatedAt sim.Time
+	ReleasedAt  sim.Time
+	Released    bool
+	Degraded    bool
+	// Lifetime is the observed service window: activation to release (or
+	// now for live connections).
+	Lifetime sim.Duration
+	Downtime sim.Duration
+	// Availability is (Lifetime-Downtime)/Lifetime in [0,1]; 1 for a
+	// connection with no observed lifetime yet.
+	Availability float64
+	Outages      []Outage
+}
+
+// CustomerReport aggregates one customer's connections.
+type CustomerReport struct {
+	Customer string
+	Now      sim.Time
+	Conns    []ConnReport
+	// Totals across all listed connections.
+	TotalLifetime sim.Duration
+	TotalDowntime sim.Duration
+	Availability  float64
+	OutageCount   int
+	Unattributed  int
+}
+
+// Report assembles the SLA report for one customer as of now. An empty
+// customer selects every non-internal connection (the operator view).
+// Internal carrier connections never appear: their failures surface through
+// the customer circuits riding them.
+func (l *Ledger) Report(customer string, now sim.Time) CustomerReport {
+	rep := CustomerReport{Customer: customer, Now: now}
+	for _, id := range l.sortedConns() {
+		cl := l.conns[id]
+		if cl.internal {
+			continue
+		}
+		if customer != "" && cl.customer != customer {
+			continue
+		}
+		cr := ConnReport{
+			Conn:        cl.conn,
+			Customer:    cl.customer,
+			ActivatedAt: cl.activatedAt,
+			ReleasedAt:  cl.releasedAt,
+			Released:    cl.released,
+			Degraded:    cl.degraded,
+			Downtime:    l.Downtime(id, now),
+			Outages:     l.Outages(id),
+		}
+		end := now
+		if cl.released {
+			end = cl.releasedAt
+		}
+		if end.After(cl.activatedAt) {
+			cr.Lifetime = end.Sub(cl.activatedAt)
+		}
+		cr.Availability = availability(cr.Lifetime, cr.Downtime)
+		rep.Conns = append(rep.Conns, cr)
+		rep.TotalLifetime += cr.Lifetime
+		rep.TotalDowntime += cr.Downtime
+		rep.OutageCount += len(cr.Outages)
+		for _, o := range cr.Outages {
+			if o.Cause == CauseUnknown {
+				rep.Unattributed++
+			}
+		}
+	}
+	rep.Availability = availability(rep.TotalLifetime, rep.TotalDowntime)
+	return rep
+}
+
+func availability(lifetime, downtime sim.Duration) float64 {
+	if lifetime <= 0 {
+		return 1
+	}
+	return float64(lifetime-downtime) / float64(lifetime)
+}
