@@ -15,8 +15,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Domain-invariant static analysis (DESIGN.md §9): wallclock, spanpair,
-# txnrollback, emslayer, metricname, suppress. Also runnable as a vet tool:
+# Domain-invariant static analysis (DESIGN.md §9) plus the flow-sensitive
+# suite (DESIGN.md §14): wallclock, spanpair, txnrollback, emslayer,
+# metricname, suppress, determinism, journaled, leakpath, loopblock. Also
+# runnable as a vet tool:
 #   go vet -vettool=$$(go env GOPATH)/bin/griphon-lint ./...
 lint:
 	$(GO) run ./cmd/griphon-lint ./...

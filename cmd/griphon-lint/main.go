@@ -2,14 +2,21 @@
 // repository: wallclock (virtual-time determinism), spanpair (every tracer
 // span ends), txnrollback (reservations carry rollbacks), emslayer (hardware
 // is only reached through internal/core), metricname (instrument naming) and
-// suppress (//lint:allow hygiene). See DESIGN.md §9 for each invariant.
+// suppress (//lint:allow hygiene), plus the flow-sensitive suite built on the
+// internal CFG layer — determinism (map order must not reach serialized
+// output unsorted), journaled (durable mutations reach a journalCommit on
+// every non-error path), leakpath (Txn claims cannot escape through an error
+// return unsettled) and loopblock (no blocking operations in controller
+// event-loop code). See DESIGN.md §9 and §14 for each invariant.
 //
 // Usage:
 //
-//	griphon-lint [-wallclock=false ...] [packages]
+//	griphon-lint [-wallclock=false ...] [-json|-sarif] [-github] [packages]
 //
 // With no packages, ./... is checked. Exit status is 0 when clean, 2 when
-// diagnostics were reported, 1 on failure to load or analyze.
+// diagnostics were reported, 1 on failure to load or analyze. -sarif emits a
+// SARIF 2.1.0 log for code-scanning uploads; -github adds inline ::error
+// workflow annotations on stderr.
 //
 // The binary is also a vet tool: it understands the go command's vet.cfg
 // protocol (-V=full, -flags, and a single *.cfg argument), so the whole
@@ -53,8 +60,10 @@ func run(args []string) int {
 	for _, a := range analysis.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, firstLine(a.Doc))
 	}
-	var jsonOut bool
+	var jsonOut, sarifOut, githubOut bool
 	fs.BoolVar(&jsonOut, "json", false, "emit diagnostics as JSON")
+	fs.BoolVar(&sarifOut, "sarif", false, "emit diagnostics as SARIF 2.1.0")
+	fs.BoolVar(&githubOut, "github", false, "also emit GitHub ::error workflow annotations")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: griphon-lint [flags] [packages]\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
@@ -110,17 +119,27 @@ func run(args []string) int {
 			}
 		}
 	}
-	if jsonOut {
+	root, _ := os.Getwd()
+	switch {
+	case sarifOut:
+		if err := driver.WriteSARIF(os.Stdout, root, suite, all); err != nil {
+			fmt.Fprintf(os.Stderr, "griphon-lint: %v\n", err)
+			return 1
+		}
+	case jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
 		if err := enc.Encode(all); err != nil {
 			fmt.Fprintf(os.Stderr, "griphon-lint: %v\n", err)
 			return 1
 		}
-	} else {
+	default:
 		for _, d := range all {
 			fmt.Printf("%s\n", d)
 		}
+	}
+	if githubOut {
+		driver.WriteGitHubAnnotations(os.Stderr, root, all)
 	}
 	if len(all) > 0 {
 		return 2
@@ -156,6 +175,8 @@ func printFlags() int {
 	}
 	flags = append(flags,
 		jsonFlag{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+		jsonFlag{Name: "sarif", Bool: true, Usage: "emit diagnostics as SARIF 2.1.0"},
+		jsonFlag{Name: "github", Bool: true, Usage: "also emit GitHub ::error workflow annotations"},
 		jsonFlag{Name: "V", Bool: false, Usage: "print version and exit"},
 	)
 	data, err := json.MarshalIndent(flags, "", "\t")

@@ -56,6 +56,7 @@ func sharedLoader(t *testing.T) *driver.Loader {
 	loaderOnce.Do(func() {
 		loader, loaderErr = driver.LoadIndex(".", []string{
 			"griphon/...", "time", "math/rand", "math/rand/v2", "errors",
+			"sort", "slices", "sync", "encoding/json",
 		})
 	})
 	if loaderErr != nil {

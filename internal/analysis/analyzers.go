@@ -3,7 +3,11 @@ package analysis
 // All returns the full griphon-lint suite, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		Determinism,
 		Emslayer,
+		Journaled,
+		Leakpath,
+		Loopblock,
 		Metricname,
 		Spanpair,
 		Suppress,

@@ -1,0 +1,138 @@
+package driver
+
+// SARIF 2.1.0 encoding of analyzer diagnostics, hand-rolled against the
+// subset the GitHub code-scanning ingester reads: one run, one rule per
+// analyzer, one result per diagnostic with a physical location. Paths are
+// emitted relative to the repository root so the upload maps onto the
+// checkout regardless of the runner's absolute paths.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"griphon/internal/analysis"
+)
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifToolDriver `json:"driver"`
+}
+
+type sarifToolDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes the diagnostics as one SARIF run. Rules cover every
+// analyzer in suite (so a clean run still advertises what was checked), and
+// file paths are made relative to root when they live under it.
+func WriteSARIF(w io.Writer, root string, suite []*analysis.Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(suite))
+	for _, a := range suite {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: firstSentence(a.Doc)},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relativeURI(root, d.Position.Filename)},
+				Region:           sarifRegion{StartLine: d.Position.Line, StartColumn: d.Position.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifToolDriver{Name: "griphon-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}
+
+// WriteGitHubAnnotations emits one ::error workflow command per diagnostic,
+// which the Actions runner turns into inline PR annotations without any
+// upload step.
+func WriteGitHubAnnotations(w io.Writer, root string, diags []Diagnostic) {
+	for _, d := range diags {
+		// Workflow-command values must not contain raw newlines or percents.
+		msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(d.Message)
+		io.WriteString(w, "::error file="+relativeURI(root, d.Position.Filename)+
+			",line="+strconv.Itoa(d.Position.Line)+
+			",col="+strconv.Itoa(d.Position.Column)+
+			",title=griphon-lint/"+d.Analyzer+"::"+msg+"\n")
+	}
+}
+
+func relativeURI(root, name string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return filepath.ToSlash(name)
+}
+
+func firstSentence(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"griphon/internal/analysis"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "determinism",
+			Package:  "griphon/internal/core",
+			Position: token.Position{Filename: "/repo/internal/core/audit.go", Line: 152, Column: 2},
+			Message:  "map iteration order flows into out",
+		},
+		{
+			Analyzer: "journaled",
+			Package:  "griphon/internal/core",
+			Position: token.Position{Filename: "/elsewhere/gen.go", Line: 7, Column: 1},
+			Message:  "mutation with 100% certainty\nsecond line",
+		},
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	suite := []*analysis.Analyzer{analysis.Determinism, analysis.Journaled}
+	if err := WriteSARIF(&buf, "/repo", suite, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one 2.1.0 run, got version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "griphon-lint" {
+		t.Errorf("tool name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Errorf("want a rule per analyzer in the suite, got %d", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "determinism" || first.Level != "error" {
+		t.Errorf("result 0 = %s/%s", first.RuleID, first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	// Under the root: relative, slash-separated.
+	if loc.ArtifactLocation.URI != "internal/core/audit.go" {
+		t.Errorf("in-repo path not relativized: %q", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 152 {
+		t.Errorf("startLine = %d", loc.Region.StartLine)
+	}
+	// Outside the root: left absolute rather than mangled with "..".
+	out := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if strings.HasPrefix(out, "..") {
+		t.Errorf("out-of-repo path escaped the root: %q", out)
+	}
+}
+
+func TestWriteGitHubAnnotations(t *testing.T) {
+	var buf bytes.Buffer
+	WriteGitHubAnnotations(&buf, "/repo", sampleDiags())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one annotation per diagnostic, got %d: %q", len(lines), buf.String())
+	}
+	if want := "::error file=internal/core/audit.go,line=152,col=2,title=griphon-lint/determinism::map iteration order flows into out"; lines[0] != want {
+		t.Errorf("annotation 0:\n got %q\nwant %q", lines[0], want)
+	}
+	// Workflow-command escaping: newlines and percents must not break the
+	// single-line protocol.
+	if strings.Contains(lines[1], "\n") || !strings.Contains(lines[1], "100%25 certainty%0Asecond line") {
+		t.Errorf("annotation 1 not escaped: %q", lines[1])
+	}
+}

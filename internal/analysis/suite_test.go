@@ -46,6 +46,26 @@ func TestMetricname(t *testing.T) {
 	analysistest.Run(t, analysis.Metricname, "testdata/metricname/obspkg", "griphon/internal/obs/fixture")
 }
 
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "testdata/determinism/flag", "example/fixture")
+	analysistest.Run(t, analysis.Determinism, "testdata/determinism/clean", "example/fixture")
+}
+
+func TestJournaled(t *testing.T) {
+	analysistest.Run(t, analysis.Journaled, "testdata/journaled/flag", "griphon/internal/core")
+	analysistest.Run(t, analysis.Journaled, "testdata/journaled/clean", "griphon/internal/core")
+}
+
+func TestLeakpath(t *testing.T) {
+	analysistest.Run(t, analysis.Leakpath, "testdata/leakpath/flag", "griphon/internal/core")
+	analysistest.Run(t, analysis.Leakpath, "testdata/leakpath/clean", "griphon/internal/core")
+}
+
+func TestLoopblock(t *testing.T) {
+	analysistest.Run(t, analysis.Loopblock, "testdata/loopblock/flag", "griphon/internal/core")
+	analysistest.Run(t, analysis.Loopblock, "testdata/loopblock/clean", "griphon/internal/core")
+}
+
 func TestSuppress(t *testing.T) {
 	analysistest.Run(t, analysis.Suppress, "testdata/suppress/flag", "example/fixture")
 	analysistest.Run(t, analysis.Suppress, "testdata/suppress/clean", "example/fixture")

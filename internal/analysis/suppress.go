@@ -38,8 +38,12 @@ type Allow struct {
 // with the Suppress analyzer itself.
 func KnownSuppressTargets() map[string]bool {
 	return map[string]bool{
+		"determinism": true,
 		"errcheck":    true,
 		"emslayer":    true,
+		"journaled":   true,
+		"leakpath":    true,
+		"loopblock":   true,
 		"metricname":  true,
 		"spanpair":    true,
 		"suppress":    true,

@@ -1,0 +1,84 @@
+package fixture
+
+import (
+	"slices"
+	"sort"
+)
+
+// sortedKeys is the canonical fix: a sort sits between every append and the
+// return on all paths.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// slicesSorted: the slices package counts as a sort barrier too.
+func slicesSorted(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+// counting loops are order-insensitive.
+func counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// summing reads values but appends nothing.
+func summing(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// neverEscapes: the slice is consumed locally and reaches no ordered sink.
+func neverEscapes(m map[string]int) {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	_ = len(out)
+}
+
+// overwritten: a wholesale reassignment erases the tainted order before the
+// slice escapes (canonicalize sorts internally).
+func overwritten(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	out = canonicalize(out)
+	return out
+}
+
+func canonicalize(in []string) []string {
+	sort.Strings(in)
+	return in
+}
+
+// bothBranchesSort: every path between the append and the return sorts.
+func bothBranchesSort(m map[string]int, desc bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	if desc {
+		sort.Sort(sort.Reverse(sort.StringSlice(out)))
+	} else {
+		sort.Strings(out)
+	}
+	return out
+}

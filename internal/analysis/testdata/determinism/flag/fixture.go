@@ -1,0 +1,73 @@
+package fixture
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// returnSink: the classic shape — collect map keys, return them unsorted.
+func returnSink(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order flows into out which reaches a return value`
+		out = append(out, k)
+	}
+	return out
+}
+
+// marshalSink: the slice feeds a json encode call outside a return.
+func marshalSink(m map[string]bool) []byte {
+	var names []string
+	for k := range m { // want `map iteration order flows into names which reaches a json encode call`
+		names = append(names, k)
+	}
+	blob, _ := json.Marshal(names)
+	return blob
+}
+
+// connRec's name marks it as a journal record type: appending into one of
+// its fields inside a map range bakes the random order into the WAL.
+type connRec struct{ Peers []string }
+
+func recordSink(m map[string]int) connRec {
+	var r connRec
+	for k := range m { // want `map iteration order flows into r\.Peers which reaches serialized record field r\.Peers`
+		r.Peers = append(r.Peers, k)
+	}
+	return r
+}
+
+// listResp is an API response shape: the json tag makes Items ordered output.
+type listResp struct {
+	Items []string `json:"items"`
+}
+
+func taggedFieldSink(m map[string]int, resp *listResp) {
+	var items []string
+	for k := range m { // want `map iteration order flows into items which reaches serialized record field resp\.Items`
+		items = append(items, k)
+	}
+	resp.Items = items
+}
+
+// viaClosure: the append hides inside a local report helper; calling it from
+// the range body taints the outer slice all the same.
+func viaClosure(m map[string]int) []string {
+	var out []string
+	report := func(k string) { out = append(out, k) }
+	for k := range m { // want `map iteration order flows into out which reaches a return value`
+		report(k)
+	}
+	return out
+}
+
+// halfSorted sorts on only one path; the fast path leaks raw map order.
+func halfSorted(m map[string]int, fast bool) []string {
+	var out []string
+	for k := range m { // want `map iteration order flows into out which reaches a return value`
+		out = append(out, k)
+	}
+	if !fast {
+		sort.Strings(out)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package fixture
+
+import "errors"
+
+type Connection struct {
+	stable int
+	Rate   int
+}
+
+type Booking struct{ phase int }
+
+type Controller struct {
+	bookings map[string]*Booking
+}
+
+func (c *Controller) journalCommit(reason string) {}
+
+var errEmpty = errors.New("empty id")
+
+func (c *Controller) validate(id string) error {
+	if id == "" {
+		return errEmpty
+	}
+	return nil
+}
+
+// book commits unconditionally after the mutation.
+func (c *Controller) book(id string, b *Booking) {
+	c.bookings[id] = b
+	c.journalCommit("book")
+}
+
+// tryBook's mutation can reach `return err`, but error paths are exempt: the
+// caller unwinds, and only the committed path becomes durable.
+func (c *Controller) tryBook(id string, b *Booking) error {
+	c.bookings[id] = b
+	if err := c.validate(id); err != nil {
+		return err
+	}
+	c.journalCommit("book")
+	return nil
+}
+
+// setStable is covered by its callers: every call site commits afterwards on
+// all non-error paths, so the helper itself owes no commit.
+func (c *Controller) setStable(conn *Connection, st int) {
+	conn.stable = st
+}
+
+func (c *Controller) promote(conn *Connection) {
+	c.setStable(conn, 3)
+	c.journalCommit("promote")
+}
+
+// commitAll commits on every path, so calling it is itself a commit point.
+func (c *Controller) commitAll() {
+	c.journalCommit("all")
+}
+
+func (c *Controller) retire(conn *Connection) {
+	conn.stable = 4
+	c.commitAll()
+}
+
+// deferred commits inside the closure, where the callback's own kernel event
+// can see it.
+func (c *Controller) deferred(conn *Connection) {
+	cb := func() {
+		conn.Rate = 9
+		c.journalCommit("rate")
+	}
+	cb()
+}

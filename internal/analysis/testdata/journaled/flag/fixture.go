@@ -1,0 +1,62 @@
+package fixture
+
+import "griphon/internal/inventory"
+
+// The fixture is checked under the griphon/internal/core package path, so
+// these mirrors of the controller types carry the real journal obligations.
+
+type Connection struct {
+	stable int
+	Rate   int
+}
+
+type Booking struct{ phase int }
+
+type Controller struct {
+	bookings    map[string]*Booking
+	pipeCarrier map[string]string
+	led         *inventory.Ledger
+}
+
+func (c *Controller) journalCommit(reason string) {}
+
+// drop mutates stable state and never commits; with no caller to commit for
+// it, the WAL never sees the transition.
+func (c *Controller) drop(conn *Connection) {
+	conn.stable = 2 // want `durable state mutation \(Connection\.stable\) can reach function exit without a journalCommit`
+}
+
+// book commits only on the urgent branch; the quiet path escapes.
+func (c *Controller) book(id string, b *Booking, urgent bool) {
+	c.bookings[id] = b // want `durable state mutation \(Controller\.bookings entry\) can reach function exit`
+	if urgent {
+		c.journalCommit("book")
+	}
+}
+
+// forget deletes a journaled map entry and returns success uncommitted.
+func (c *Controller) forget(id string) error {
+	delete(c.bookings, id) // want `durable state mutation \(Controller\.bookings delete\) can reach a non-error return`
+	return nil
+}
+
+// later shows the closure rule: callbacks run in their own kernel event, so
+// the outer commit cannot cover a mutation inside the literal.
+func (c *Controller) later(conn *Connection) {
+	cb := func() {
+		conn.Rate = 40 // want `durable state mutation \(Connection\.Rate\) can reach function exit`
+	}
+	cb()
+	c.journalCommit("later")
+}
+
+// setQuota reproduces the PR 5 gap: quota changes survive in memory but
+// vanish on replay.
+func (c *Controller) setQuota(cust inventory.Customer, q inventory.Quota) {
+	c.led.SetQuota(cust, q) // want `durable state mutation \(inventory\.Ledger\.SetQuota\) can reach function exit`
+}
+
+// advance moves a booking through its lifecycle without journaling it.
+func (c *Controller) advance(b *Booking) {
+	b.phase = 1 // want `durable state mutation \(Booking\.phase\) can reach function exit`
+}

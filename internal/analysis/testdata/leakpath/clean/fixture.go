@@ -1,0 +1,63 @@
+package fixture
+
+import "griphon/internal/inventory"
+
+type pool struct{ free []int }
+
+type leakErr string
+
+func (e leakErr) Error() string { return string(e) }
+
+const (
+	errExhausted = leakErr("pool exhausted")
+	errBadID     = leakErr("bad id")
+)
+
+func (p *pool) acquire() (int, error) {
+	if len(p.free) == 0 {
+		return 0, errExhausted
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return id, nil
+}
+
+func (p *pool) release(id int) { p.free = append(p.free, id) }
+
+// allocDefer uses the house idiom: a function-wide deferred Rollback is a
+// no-op after Commit and discharges every error path at once.
+func allocDefer(p *pool) (int, error) {
+	txn := inventory.NewTxn()
+	defer txn.Rollback()
+	id, err := inventory.Reserve(txn, p.acquire, p.release)
+	if err != nil {
+		return 0, err
+	}
+	if id < 0 {
+		return 0, errBadID
+	}
+	txn.Commit()
+	return id, nil
+}
+
+// allocExplicit settles the txn before every error return by hand.
+func allocExplicit(p *pool) (int, error) {
+	txn := inventory.NewTxn()
+	id, err := inventory.Reserve(txn, p.acquire, p.release)
+	if err != nil {
+		txn.Rollback()
+		return 0, err
+	}
+	if id < 0 {
+		txn.Rollback()
+		return 0, errBadID
+	}
+	txn.Commit()
+	return id, nil
+}
+
+// claimInto receives a caller-owned txn: the creator's defer/rollback
+// discipline covers claims made here.
+func claimInto(t *inventory.Txn, p *pool) (int, error) {
+	return inventory.Reserve(t, p.acquire, p.release)
+}

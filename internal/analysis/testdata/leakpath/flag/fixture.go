@@ -1,0 +1,63 @@
+package fixture
+
+import "griphon/internal/inventory"
+
+type pool struct{ free []int }
+
+type leakErr string
+
+func (e leakErr) Error() string { return string(e) }
+
+const (
+	errExhausted = leakErr("pool exhausted")
+	errBadID     = leakErr("bad id")
+)
+
+func (p *pool) acquire() (int, error) {
+	if len(p.free) == 0 {
+		return 0, errExhausted
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return id, nil
+}
+
+func (p *pool) release(id int) { p.free = append(p.free, id) }
+
+// allocate settles the txn on the Reserve failure path but not on the
+// validation failure: that return strands the reservation in the pool.
+func allocate(p *pool) (int, error) {
+	txn := inventory.NewTxn()
+	id, err := inventory.Reserve(txn, p.acquire, p.release) // want `claim on txn can reach the error return on line \d+ with the transaction still open`
+	if err != nil {
+		txn.Rollback()
+		return 0, err
+	}
+	if id < 0 {
+		return 0, errBadID
+	}
+	txn.Commit()
+	return id, nil
+}
+
+// build hands the txn to a helper (interprocedural claim, one level) and
+// then returns the helper's error with the transaction still open.
+func build(p *pool) error {
+	txn := inventory.NewTxn()
+	err := claimPair(txn, p) // want `claim on txn can reach the error return on line \d+`
+	if err != nil {
+		return err
+	}
+	txn.Commit()
+	return nil
+}
+
+// claimPair itself is caller-owned (*Txn parameter): the leak is charged to
+// the creator, not here.
+func claimPair(t *inventory.Txn, p *pool) error {
+	if _, err := inventory.Reserve(t, p.acquire, p.release); err != nil {
+		return err
+	}
+	_, err := inventory.Reserve(t, p.acquire, p.release)
+	return err
+}

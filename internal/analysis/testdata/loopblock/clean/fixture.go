@@ -1,0 +1,41 @@
+package fixture
+
+import "griphon/internal/sim"
+
+// poll uses select-with-default: a non-parking probe is allowed.
+func poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// schedule expresses delay as a kernel continuation instead of sleeping or
+// re-entering the loop.
+func schedule(k *sim.Kernel, fn func()) {
+	k.After(5, fn)
+}
+
+// chain runs long work as a job with an OnDone continuation.
+func chain(k *sim.Kernel, next func(error)) {
+	job := k.AfterJob(10, nil)
+	job.OnDone(next)
+}
+
+// dead receives on a channel only in unreachable code; the analyzer walks
+// reachable blocks and stays quiet.
+func dead(ch chan int) {
+	return
+	<-ch
+}
+
+// mapWork: plain computation on the loop is fine.
+func mapWork(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+package fixture
+
+import (
+	"sync"
+
+	"griphon/internal/sim"
+)
+
+// Checked under the griphon/internal/core package path: everything here runs
+// inside kernel events on the single-threaded virtual-time loop.
+
+func recv(ch chan int) int {
+	return <-ch // want `channel receive blocks the controller event loop`
+}
+
+func send(ch chan int, v int) {
+	ch <- v // want `channel send blocks the controller event loop`
+}
+
+func wait(ch, done chan int) {
+	select { // want `select without default blocks the controller event loop`
+	case <-ch:
+	case <-done:
+	}
+}
+
+func fork(fn func()) {
+	go fn() // want `goroutine launched from controller event-loop code`
+}
+
+func locked(mu *sync.Mutex) {
+	mu.Lock() // want `sync\.Lock blocks the controller event loop`
+	defer mu.Unlock()
+}
+
+func reenter(k *sim.Kernel) {
+	k.Run() // want `Kernel\.Run re-enters the event loop from inside an event`
+}
+
+func stepwise(k *sim.Kernel) {
+	for k.Step() { // want `Kernel\.Step re-enters the event loop`
+	}
+}
+
+func drain(ch chan int) int {
+	n := 0
+	for v := range ch { // want `ranging over a channel blocks the controller event loop`
+		n += v
+	}
+	return n
+}
+
+func deferredWait(wg *sync.WaitGroup) {
+	defer wg.Wait() // want `sync\.Wait blocks the controller event loop`
+}

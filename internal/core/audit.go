@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"griphon/internal/bw"
@@ -149,7 +150,12 @@ func (c *Controller) AuditInvariants() []Finding {
 			}
 		}
 	}
+	liveIDs := make([]string, 0, len(live))
 	for id := range live {
+		liveIDs = append(liveIDs, id)
+	}
+	sort.Strings(liveIDs)
+	for _, id := range liveIDs {
 		if !claimed[connKey(ConnID(id))] {
 			report("ledger-claim", "live connection %s holds no ledger claim", id)
 		}

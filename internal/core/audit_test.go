@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
 	"testing"
 
 	"griphon/internal/bw"
@@ -88,4 +92,41 @@ func TestAuditInvariantsDetectsLeaks(t *testing.T) {
 
 	// Every leak undone: the books balance again.
 	auditClean(t, c)
+}
+
+// TestAuditFindingsDeterministicOrder pins the auditor's output order: the
+// flight recorder diffs findings across runs, so two audits of the same state
+// must produce identical, sorted reports. With a dozen planted violations the
+// pre-fix map-order iteration produced a different permutation per call.
+func TestAuditFindingsDeterministicOrder(t *testing.T) {
+	_, c := newTestbed(t, 502)
+
+	// A dozen live connections that hold no ledger claim, planted directly in
+	// the connection index behind the controller's back.
+	for i := 0; i < 12; i++ {
+		id := ConnID(fmt.Sprintf("ghost-%02d", i))
+		c.conns[id] = &Connection{ID: id, State: StateActive, Layer: LayerOTN}
+	}
+
+	claimFindings := func() []string {
+		var out []string
+		for _, f := range c.AuditInvariants() {
+			if f.Kind == "ledger-claim" {
+				out = append(out, f.Detail)
+			}
+		}
+		return out
+	}
+
+	first := claimFindings()
+	if len(first) != 12 {
+		t.Fatalf("planted 12 claimless connections, auditor reported %d: %v", len(first), first)
+	}
+	if !sort.StringsAreSorted(first) {
+		t.Errorf("ledger-claim findings not sorted by connection ID:\n%s", strings.Join(first, "\n"))
+	}
+	second := claimFindings()
+	if !slices.Equal(first, second) {
+		t.Errorf("two audits of identical state disagree on order:\n%v\nvs\n%v", first, second)
+	}
 }

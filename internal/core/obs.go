@@ -1,10 +1,13 @@
 package core
 
 import (
+	"sort"
+
 	"griphon/internal/alarms"
 	"griphon/internal/ems"
 	"griphon/internal/obs"
 	"griphon/internal/sim"
+	"griphon/internal/topo"
 )
 
 // instruments bundles the controller's metric handles. Every handle is
@@ -196,9 +199,14 @@ func (c *Controller) initObs() {
 	// Per-EMS instruments: the two vendor EMSes by name, the per-PoP FXC
 	// controllers aggregated.
 	fxcManagers := func() []*ems.Manager {
-		out := make([]*ems.Manager, 0, len(c.fxcEMS))
-		for _, m := range c.fxcEMS {
-			out = append(out, m)
+		ids := make([]string, 0, len(c.fxcEMS))
+		for id := range c.fxcEMS {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		out := make([]*ems.Manager, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, c.fxcEMS[topo.NodeID(id)])
 		}
 		return out
 	}

@@ -47,6 +47,7 @@ func Rehydrate(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 	// The journaled clock is where virtual time resumes; RunUntil on a fresh
 	// kernel just advances the clock (no events are pending yet).
 	if now := sim.Time(st.Now); now.After(k.Now()) {
+		//lint:allow loopblock boot-time fast-forward on a fresh kernel before any event runs
 		k.RunUntil(now)
 	}
 

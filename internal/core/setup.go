@@ -127,6 +127,7 @@ func (c *Controller) Connect(req Request) (*Connection, *sim.Job, error) {
 		func() error { return c.ledger.Admit(req.Customer, req.Rate) },
 		func() { c.ledger.Discharge(req.Customer, req.Rate) }, //lint:allow errcheck undoing our own admit
 	); err != nil {
+		adm.Rollback()
 		c.ins.blockedAdmission.Inc()
 		return nil, nil, err
 	}

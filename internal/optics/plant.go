@@ -2,6 +2,7 @@ package optics
 
 import (
 	"fmt"
+	"sort"
 
 	"griphon/internal/bw"
 	"griphon/internal/topo"
@@ -176,11 +177,7 @@ func (p *Plant) DownLinks() []topo.LinkID {
 	for id := range p.down {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
