@@ -14,6 +14,9 @@
 //	griphon-bench -crash 50           # crash-recovery soak: N random WAL truncations
 //	griphon-bench -latency 120        # setup-latency benchmark: write BENCH_PR6.json
 //	griphon-bench -latency-gate BENCH_PR6.json   # fail on fast-mode p95 regression
+//	griphon-bench -tenants 1000       # multi-tenant scaling benchmark: write BENCH_PR9.json
+//	griphon-bench -tenants-gate BENCH_PR9.json   # fail on speedup collapse or audit findings
+//	griphon-bench -chaos 300 -tenants 50 -shards 4   # multi-tenant soak with cross-shard audit
 package main
 
 import (
@@ -41,7 +44,42 @@ func main() {
 	latencyOut := flag.String("latency-out", "BENCH_PR6.json", "where -latency writes the JSON report")
 	latencyGate := flag.String("latency-gate", "", "re-run the latency benchmark at this committed baseline's seed/iters and fail on p95 regression")
 	latencyTol := flag.Float64("latency-tol", 0.10, "relative tolerance for the -latency-gate p95 comparison")
+	tenants := flag.Int("tenants", 0, "run the multi-tenant scaling benchmark with this many customers (or the sharded chaos soak with -chaos) and write the JSON report")
+	tenantsOut := flag.String("tenants-out", "BENCH_PR9.json", "where -tenants writes the JSON report")
+	tenantsGate := flag.String("tenants-gate", "", "re-run the tenant benchmark against this committed baseline and fail on correctness or speedup collapse")
+	tenantsTol := flag.Float64("tenants-tol", 0.50, "relative tolerance for the -tenants-gate speedup comparison")
+	shards := flag.Int("shards", 4, "shard count for the -chaos -tenants soak")
 	flag.Parse()
+
+	if *tenantsGate != "" {
+		if err := runTenantsGate(*tenantsGate, *tenantsTol); err != nil {
+			fmt.Fprintln(os.Stderr, "tenants-gate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tenants gate passed against %s (tolerance %.0f%%)\n", *tenantsGate, *tenantsTol*100)
+		return
+	}
+
+	if *tenants > 0 && *chaos > 0 {
+		res, err := experiments.ChaosShardedN(*seed, *chaos, *tenants, *shards, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos-tenants:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if res.Values["audit_findings"] != 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tenants > 0 {
+		if err := runTenantsBench(*seed, *tenants, *tenantsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tenants:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *latencyGate != "" {
 		if err := runLatencyGate(*latencyGate, *latencyTol); err != nil {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"griphon/internal/experiments"
+)
+
+// tenantShardSweep is the shard-count ladder the scaling benchmark measures.
+var tenantShardSweep = []int{1, 2, 4, 8}
+
+// runTenantsBench runs the multi-tenant scaling benchmark and writes the JSON
+// report CI commits as the throughput regression baseline.
+func runTenantsBench(seed int64, tenants int, out string) error {
+	rep, err := experiments.TenantsBench(seed, tenants, tenantShardSweep)
+	if err != nil {
+		return err
+	}
+	for _, pt := range rep.Points {
+		status := ""
+		if pt.Failed > 0 || pt.AuditFindings > 0 {
+			status = fmt.Sprintf("  FAILED=%d AUDIT=%d", pt.Failed, pt.AuditFindings)
+		}
+		fmt.Printf("shards=%-2d wall=%8.1fms  cycles/s=%8.0f  events=%8d  bottleneck=%8d  projected=%.2fx  overhead=%.3f%s\n",
+			pt.Shards, pt.WallMS, pt.CyclesPerSec, pt.EventsTotal, pt.EventsBottleneck,
+			pt.ProjectedSpeedup, pt.Overhead, status)
+	}
+	for _, pt := range rep.Points {
+		if pt.Failed > 0 || pt.AuditFindings > 0 {
+			return fmt.Errorf("shards=%d: %d failed cycles, %d audit findings",
+				pt.Shards, pt.Failed, pt.AuditFindings)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (seed %d, %d tenants, max speedup %.2fx)\n", out, seed, tenants, rep.MaxSpeedup)
+	return nil
+}
+
+// runTenantsGate re-runs the scaling benchmark at the committed baseline's
+// seed and fails on correctness violations or a collapse of the sharding
+// speedup. Wall clock differs across machines, so the gate compares the
+// deterministic projected speedup (event-partition ratio) within a tolerance
+// that absorbs the shorter CI run's different tenant count.
+func runTenantsGate(path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want experiments.TenantsReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(want.Points) == 0 || want.Tenants <= 0 {
+		return fmt.Errorf("%s holds no points or a non-positive tenant count", path)
+	}
+	// CI smoke keeps the re-run short: the committed tenant count proves
+	// 1000-customer scale, the gate proves the shape still holds.
+	tenants := want.Tenants
+	if tenants > 200 {
+		tenants = 200
+	}
+	got, err := experiments.TenantsBench(want.Seed, tenants, want.ShardCounts)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, pt := range got.Points {
+		if pt.Failed > 0 {
+			violations = append(violations, fmt.Sprintf("shards=%d: %d failed cycles", pt.Shards, pt.Failed))
+		}
+		if pt.AuditFindings > 0 {
+			violations = append(violations, fmt.Sprintf("shards=%d: %d audit findings", pt.Shards, pt.AuditFindings))
+		}
+	}
+	floor := want.MaxSpeedup * (1 - tol)
+	fmt.Printf("max speedup %.2fx vs committed %.2fx (floor %.2fx), %d tenants per point\n",
+		got.MaxSpeedup, want.MaxSpeedup, floor, tenants)
+	if got.MaxSpeedup < floor {
+		violations = append(violations, fmt.Sprintf(
+			"max speedup %.2fx fell below %.2fx (committed %.2fx - %.0f%%)",
+			got.MaxSpeedup, floor, want.MaxSpeedup, tol*100))
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d violation(s): %v", len(violations), violations)
+	}
+	return nil
+}

@@ -38,9 +38,10 @@ func main() {
 	trace := flag.Bool("trace", false, "record virtual-time spans; export via GET /api/v1/trace")
 	stateDir := flag.String("state-dir", "", "persist controller state in this directory (WAL + snapshots); recovers on restart")
 	fsync := flag.Bool("fsync", false, "fsync the journal after every commit (with -state-dir)")
+	shards := flag.Int("shards", 1, "partition the control plane into N per-customer shards; GET /api/v1/shards")
 	flag.Parse()
 
-	net, desc, err := buildNetwork(*topoName, *pops, *sites, *seed, *autoRepair, *trace, *stateDir, *fsync)
+	net, desc, err := buildNetwork(*topoName, *pops, *sites, *seed, *autoRepair, *trace, *stateDir, *fsync, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -51,7 +52,7 @@ func main() {
 }
 
 // buildNetwork assembles the simulated network for the chosen topology.
-func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair, trace bool, stateDir string, fsync bool) (*griphon.Network, string, error) {
+func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair, trace bool, stateDir string, fsync bool, shards int) (*griphon.Network, string, error) {
 	var topo *griphon.Topology
 	switch topoName {
 	case "testbed":
@@ -81,10 +82,16 @@ func buildNetwork(topoName string, pops, sites int, seed int64, autoRepair, trac
 			opts = append(opts, griphon.WithFsync())
 		}
 	}
+	if shards > 1 {
+		opts = append(opts, griphon.WithShards(shards))
+	}
 	net, err := griphon.New(topo, opts...)
 	if err != nil {
 		return nil, "", err
 	}
 	desc := fmt.Sprintf("%s topology (%d PoPs, %d sites)", topoName, len(topo.PoPs()), len(topo.Sites()))
+	if shards > 1 {
+		desc += fmt.Sprintf(", %d control-plane shards", shards)
+	}
 	return net, desc, nil
 }

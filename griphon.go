@@ -9,7 +9,6 @@ import (
 	"griphon/internal/bw"
 	"griphon/internal/core"
 	"griphon/internal/inventory"
-	"griphon/internal/journal"
 	"griphon/internal/obs"
 	"griphon/internal/sim"
 	"griphon/internal/slo"
@@ -78,6 +77,9 @@ type SLAReport = slo.CustomerReport
 // tripped the dump.
 type FlightDump = slo.Dump
 
+// Finding is one invariant violation reported by AuditInvariants.
+type Finding = core.Finding
+
 // Option configures a Network.
 type Option func(*config)
 
@@ -87,6 +89,8 @@ type config struct {
 	tracing  bool
 	stateDir string
 	fsync    bool
+	shards   int
+	maxPipes int
 }
 
 // WithSeed sets the simulation seed (default 1). Runs with equal seeds are
@@ -180,14 +184,33 @@ func WithFsync() Option {
 	return func(c *config) { c.fsync = true }
 }
 
+// WithShards partitions the control plane into n shards, each a full
+// controller (own event loop, own journal under <stateDir>/shard-<i>, own
+// plant replica) serving the customers that hash to it. Spectrum on shared
+// fibers and OTN pipe capacity are brokered by a cross-shard coordinator;
+// everything else is shard-local. n <= 1 is the serial single-shard mode —
+// the default, byte-compatible with unsharded deployments — and runs the
+// same code path. See DESIGN.md §15.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithMaxPipesPerPair caps concurrent OTN pipes between one node pair across
+// all shards (0 = unlimited; only meaningful with WithShards).
+func WithMaxPipesPerPair(n int) Option {
+	return func(c *config) { c.maxPipes = n }
+}
+
 // Network is a GRIPhoN deployment: the photonic plant, the OTN overlay, the
 // vendor EMSes and the GRIPhoN controller, all running on one virtual clock.
-// Network is not safe for concurrent use; the simulation is single-threaded
-// by design (determinism).
+// With WithShards the control plane is partitioned per customer into N such
+// controllers coordinated over the shared plant (see DESIGN.md §15); without
+// it everything runs on one controller, byte-compatible with earlier
+// versions. Network is not safe for concurrent use; the simulation is
+// single-threaded by design (determinism).
 type Network struct {
-	k     *sim.Kernel
-	ctrl  *core.Controller
-	store *journal.Store
+	set  *core.ShardSet
+	ctrl *core.Controller // shard 0, the whole plane when unsharded
 }
 
 // New builds a network over the given topology.
@@ -213,65 +236,72 @@ func New(t *Topology, opts ...Option) (*Network, error) {
 	if oc.RegensPerNode == 0 {
 		oc.RegensPerNode = 2
 	}
-	k := sim.NewKernel(cfg.seed)
-	if cfg.tracing {
-		cfg.core.Tracer = obs.NewTracer(k)
-	}
-	var store *journal.Store
-	if cfg.stateDir != "" {
-		var err error
-		store, err = journal.Open(cfg.stateDir, journal.Options{Fsync: cfg.fsync})
-		if err != nil {
-			return nil, err
-		}
-		cfg.core.Journal = store
-	}
-	var ctrl *core.Controller
-	var err error
-	if store != nil && store.HasState() {
-		ctrl, err = core.Rehydrate(k, t.g, cfg.core)
-	} else {
-		ctrl, err = core.New(k, t.g, cfg.core)
-	}
+	set, err := core.NewShardSet(t.g, core.ShardSetConfig{
+		Shards:          cfg.shards,
+		Seed:            cfg.seed,
+		Core:            cfg.core,
+		StateDir:        cfg.stateDir,
+		Fsync:           cfg.fsync,
+		Tracing:         cfg.tracing,
+		MaxPipesPerPair: cfg.maxPipes,
+	})
 	if err != nil {
-		if store != nil {
-			_ = store.Close() // construction already failed; surface that error
-		}
 		return nil, err
 	}
-	return &Network{k: k, ctrl: ctrl, store: store}, nil
+	return &Network{set: set, ctrl: set.Shard(0).Ctrl}, nil
 }
 
-// Close releases the journal (a no-op without WithStateDir). The network is
-// unusable for durable operations afterwards.
-func (n *Network) Close() error {
-	if n.store == nil {
-		return nil
-	}
-	return n.store.Close()
-}
+// Close releases every shard's journal (a no-op without WithStateDir). The
+// network is unusable for durable operations afterwards.
+func (n *Network) Close() error { return n.set.Close() }
 
-// Controller exposes the underlying GRIPhoN controller for advanced use
-// (benchmark harnesses drive it directly).
+// Controller exposes the underlying GRIPhoN controller — shard 0's when
+// sharded — for advanced use (benchmark harnesses drive it directly).
 func (n *Network) Controller() *core.Controller { return n.ctrl }
 
-// Now returns the current virtual time as an offset from the start.
-func (n *Network) Now() time.Duration { return time.Duration(n.k.Now()) }
+// ShardSet exposes the sharded control plane itself: per-shard controllers,
+// the cross-shard coordinator and the parallel drivers the multi-tenant
+// benchmark uses.
+func (n *Network) ShardSet() *core.ShardSet { return n.set }
 
-// Advance runs the simulation for d of virtual time.
-func (n *Network) Advance(d time.Duration) { n.k.RunFor(d) }
+// Shards returns the shard count (1 unless WithShards).
+func (n *Network) Shards() int { return n.set.Len() }
 
-// Drain runs the simulation until no events remain.
-func (n *Network) Drain() { n.k.Run() }
+// ShardFor returns the index of the shard owning a customer's state.
+func (n *Network) ShardFor(customer string) int {
+	return n.set.ShardFor(inventory.Customer(customer))
+}
+
+// forCust returns the controller owning a customer's state.
+func (n *Network) forCust(customer string) *core.Controller {
+	return n.set.For(inventory.Customer(customer))
+}
+
+// Now returns the current virtual time as an offset from the start (the
+// latest shard clock when sharded).
+func (n *Network) Now() time.Duration { return time.Duration(n.set.Now()) }
+
+// Advance runs the simulation for d of virtual time, in lockstep across
+// shards (deterministic).
+func (n *Network) Advance(d time.Duration) { n.set.Advance(d) }
+
+// Drain runs the simulation until no events remain on any shard.
+func (n *Network) Drain() { n.set.Drain() }
+
+// AuditInvariants sweeps every shard's resource books plus the cross-shard
+// invariants (spectrum claims, pipe tokens, tenant placement). Empty means
+// everything balances.
+func (n *Network) AuditInvariants() []Finding { return n.set.AuditInvariants() }
 
 // await drives the clock until the job completes.
 func (n *Network) await(job *sim.Job) error {
-	for !job.Done() {
-		if !n.k.Step() {
-			return fmt.Errorf("griphon: simulation stalled waiting for job")
+	if err := n.set.Await(job); err != nil {
+		if job.Done() {
+			return err
 		}
+		return fmt.Errorf("griphon: simulation stalled waiting for job")
 	}
-	return job.Err()
+	return nil
 }
 
 // Connect provisions a connection between two sites at the given rate and
@@ -289,7 +319,7 @@ func (n *Network) Connect(customer, from, to string, rate Rate, protect ...Prote
 	if len(protect) > 0 {
 		req.Protect = protect[0]
 	}
-	conns, job, err := n.ctrl.ConnectComposite(req)
+	conns, job, err := n.forCust(customer).ConnectComposite(req)
 	if err != nil {
 		return nil, err
 	}
@@ -311,14 +341,14 @@ func (n *Network) ConnectAsync(customer, from, to string, rate Rate, protect ...
 	if len(protect) > 0 {
 		req.Protect = protect[0]
 	}
-	conn, _, err := n.ctrl.Connect(req)
+	conn, _, err := n.forCust(customer).Connect(req)
 	return conn, err
 }
 
 // Disconnect tears a connection down and runs until its resources are
 // released.
 func (n *Network) Disconnect(customer string, id ConnID) error {
-	job, err := n.ctrl.Disconnect(inventory.Customer(customer), id)
+	job, err := n.forCust(customer).Disconnect(inventory.Customer(customer), id)
 	if err != nil {
 		return err
 	}
@@ -327,27 +357,27 @@ func (n *Network) Disconnect(customer string, id ConnID) error {
 
 // Connections lists a customer's connections (the GUI's connection view).
 func (n *Network) Connections(customer string) []*Connection {
-	return n.ctrl.CustomerConnections(inventory.Customer(customer))
+	return n.forCust(customer).CustomerConnections(inventory.Customer(customer))
 }
 
-// Conn returns one connection by ID, or nil.
-func (n *Network) Conn(id ConnID) *Connection { return n.ctrl.Conn(id) }
+// Conn returns one connection by ID, or nil (searched across shards).
+func (n *Network) Conn(id ConnID) *Connection { return n.set.Conn(id) }
 
-// CutFiber fails a fiber link; detection, localization and restoration
-// proceed as the simulation advances.
+// CutFiber fails a fiber link on every shard's plant replica; detection,
+// localization and restoration proceed as the simulation advances.
 func (n *Network) CutFiber(link string) error {
-	return n.ctrl.CutFiber(topo.LinkID(link))
+	return n.set.CutFiber(topo.LinkID(link))
 }
 
-// RepairFiber returns a failed link to service.
+// RepairFiber returns a failed link to service on every shard.
 func (n *Network) RepairFiber(link string) error {
-	return n.ctrl.RepairFiber(topo.LinkID(link))
+	return n.set.RepairFiber(topo.LinkID(link))
 }
 
 // BridgeAndRoll moves an active wavelength connection to a disjoint path
 // almost hitlessly and runs until the roll completes.
 func (n *Network) BridgeAndRoll(customer string, id ConnID) error {
-	job, err := n.ctrl.BridgeAndRoll(inventory.Customer(customer), id, nil)
+	job, err := n.forCust(customer).BridgeAndRoll(inventory.Customer(customer), id, nil)
 	if err != nil {
 		return err
 	}
@@ -358,14 +388,33 @@ func (n *Network) BridgeAndRoll(customer string, id ConnID) error {
 // now, lasting `window`. It returns immediately; advance the clock to let it
 // happen. The Maintenance record fills in as it proceeds.
 func (n *Network) ScheduleMaintenance(link string, in, window time.Duration) (*Maintenance, error) {
-	m, _, err := n.ctrl.ScheduleMaintenance(topo.LinkID(link), n.k.Now().Add(in), window)
-	return m, err
+	// Planned work is plant state, replicated like fiber cuts: every shard
+	// schedules its own window so each drains and restores its own
+	// customers. The operator watches shard 0's record.
+	var first *Maintenance
+	var firstErr error
+	for _, sh := range n.set.Shards() {
+		m, _, err := sh.Ctrl.ScheduleMaintenance(topo.LinkID(link), sh.Kernel.Now().Add(in), window)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if first == nil {
+			first = m
+		}
+	}
+	if first != nil {
+		return first, nil
+	}
+	return nil, firstErr
 }
 
 // Regroom moves a connection onto a better path if one exists (reports
 // whether it moved) and runs until done.
 func (n *Network) Regroom(customer string, id ConnID) (bool, error) {
-	moved, job, err := n.ctrl.Regroom(inventory.Customer(customer), id)
+	moved, job, err := n.forCust(customer).Regroom(inventory.Customer(customer), id)
 	if err != nil {
 		return false, err
 	}
@@ -379,19 +428,42 @@ type Booking = core.Booking
 // lasting `hold`. Provisioning happens when the window opens; advance the
 // clock to let it play out.
 func (n *Network) ScheduleConnect(customer, from, to string, rate Rate, in, hold time.Duration) (*Booking, error) {
-	return n.ctrl.ScheduleConnect(core.Request{
+	c := n.forCust(customer)
+	return c.ScheduleConnect(core.Request{
 		Customer: inventory.Customer(customer),
 		From:     topo.SiteID(from),
 		To:       topo.SiteID(to),
 		Rate:     rate,
-	}, sim.Time(n.Now()+in), hold)
+	}, c.NowTime().Add(in), hold)
+}
+
+// Booking returns one of a customer's bookings by ID. IDs belonging to a
+// different customer read as unknown.
+func (n *Network) Booking(customer string, id int) (*Booking, error) {
+	return n.forCust(customer).Booking(inventory.Customer(customer), id)
+}
+
+// Bookings lists a customer's bookings in ID order.
+func (n *Network) Bookings(customer string) []*Booking {
+	return n.forCust(customer).Bookings(inventory.Customer(customer))
+}
+
+// CancelBooking ends a customer's booking early — a pending window is
+// descheduled, an open one has its components released — and runs until the
+// release completes.
+func (n *Network) CancelBooking(customer string, id int) error {
+	job, err := n.forCust(customer).CancelBooking(inventory.Customer(customer), id)
+	if err != nil {
+		return err
+	}
+	return n.await(job)
 }
 
 // AdjustRate resizes an active connection in place (OTN circuits: hitless
 // slot changes; wavelengths: a brief re-tune) and runs until the adjustment
 // completes. Moves across the OTN/DWDM boundary are rejected.
 func (n *Network) AdjustRate(customer string, id ConnID, rate Rate) error {
-	job, err := n.ctrl.AdjustRate(inventory.Customer(customer), id, rate)
+	job, err := n.forCust(customer).AdjustRate(inventory.Customer(customer), id, rate)
 	if err != nil {
 		return err
 	}
@@ -402,27 +474,36 @@ func (n *Network) AdjustRate(customer string, id ConnID, rate Rate) error {
 // wavelengths and transponders to the shared pool. It reports how many pipes
 // were reclaimed and runs until the teardowns complete.
 func (n *Network) ReclaimIdlePipes() (int, error) {
-	job, count := n.ctrl.ReclaimIdlePipes()
-	return count, n.await(job)
+	total := 0
+	for _, sh := range n.set.Shards() {
+		job, count := sh.Ctrl.ReclaimIdlePipes()
+		total += count
+		if err := n.await(job); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // BillGbHours returns a customer's cumulative delivered gigabit-hours — the
 // BoD billing unit (outages excluded).
 func (n *Network) BillGbHours(customer string) float64 {
-	return n.ctrl.BillGbHours(inventory.Customer(customer))
+	return n.forCust(customer).BillGbHours(inventory.Customer(customer))
 }
 
 // SetQuota bounds a customer's simultaneous connections and total bandwidth
-// (zero = unlimited).
+// (zero = unlimited). The quota lands on — and is journaled by — exactly the
+// shard that owns the customer, so it is admission-safe while setups are in
+// flight on other shards.
 func (n *Network) SetQuota(customer string, maxConns int, maxBandwidth Rate) {
-	n.ctrl.SetQuota(inventory.Customer(customer), inventory.Quota{
+	n.set.SetQuota(inventory.Customer(customer), inventory.Quota{
 		MaxConnections: maxConns,
 		MaxBandwidth:   maxBandwidth,
 	})
 }
 
-// Stats returns a resource snapshot.
-func (n *Network) Stats() Stats { return n.ctrl.Snapshot() }
+// Stats returns a resource snapshot (summed across shards).
+func (n *Network) Stats() Stats { return n.set.Snapshot() }
 
 // Tracer returns the network's span recorder (nil unless WithTracing).
 func (n *Network) Tracer() *obs.Tracer { return n.ctrl.Tracer() }
@@ -451,32 +532,39 @@ func (n *Network) TraceJSONLTo(w io.Writer) error {
 	return tr.WriteJSONL(w)
 }
 
-// MetricsTo writes every instrument in Prometheus text format.
+// MetricsTo writes every instrument in Prometheus text format. When sharded,
+// the per-shard registries are merged under an injected shard label.
 func (n *Network) MetricsTo(w io.Writer) error {
-	return n.ctrl.Metrics().WritePrometheus(w)
+	return n.set.WriteMetrics(w)
 }
 
-// Events returns the audit log.
-func (n *Network) Events() []Event { return n.ctrl.Events() }
+// Events returns the audit log (merged across shards).
+func (n *Network) Events() []Event { return n.set.Events() }
 
 // EventsFor returns the audit log entries for one connection.
-func (n *Network) EventsFor(id ConnID) []Event { return n.ctrl.EventsFor(id) }
+func (n *Network) EventsFor(id ConnID) []Event { return n.set.EventsFor(id) }
 
 // EventsSince returns audit-log entries after the cursor plus the next cursor
 // (len of the log); resuming from it yields no gaps or repeats.
-func (n *Network) EventsSince(cursor int) ([]Event, int) { return n.ctrl.EventsSince(cursor) }
+func (n *Network) EventsSince(cursor int) ([]Event, int) { return n.set.EventsSince(cursor) }
 
 // Alarms returns correlated alarm groups after the seq cursor, projected onto
 // one customer's view ("" = operator sees everything), plus the cursor to
-// resume from.
+// resume from. Customer cursors live in the owning shard's stream; the
+// operator cursor in the merged stream.
 func (n *Network) Alarms(since uint64, customer string) ([]AlarmGroup, uint64) {
-	return n.ctrl.AlarmsSince(since, customer)
+	return n.set.AlarmsSince(since, customer)
 }
 
 // SLA assembles a customer's availability report as of the current virtual
 // time. An empty customer is the operator view (every non-internal
-// connection).
-func (n *Network) SLA(customer string) SLAReport { return n.ctrl.SLAReport(customer) }
+// connection, read from shard 0 when sharded).
+func (n *Network) SLA(customer string) SLAReport {
+	if customer == "" {
+		return n.ctrl.SLAReport("")
+	}
+	return n.forCust(customer).SLAReport(customer)
+}
 
 // DumpFlight snapshots the flight recorder (ok=false without
 // WithFlightRecorder), folding findings into the dump.
@@ -489,6 +577,13 @@ func (n *Network) DumpFlight(reason string, findings []string) (FlightDump, bool
 // packing after churn. It reports how many connections moved and runs until
 // the retunes complete.
 func (n *Network) DefragmentSpectrum() (int, error) {
-	job, moved := n.ctrl.DefragmentSpectrum()
-	return moved, n.await(job)
+	total := 0
+	for _, sh := range n.set.Shards() {
+		job, moved := sh.Ctrl.DefragmentSpectrum()
+		total += moved
+		if err := n.await(job); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }

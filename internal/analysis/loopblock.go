@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -24,6 +25,20 @@ var Loopblock = &Analyzer{
 	Run: runLoopblock,
 }
 
+// loopblockExemptRecv names the cross-shard layer that sits above the
+// per-shard event loops rather than on them: the ShardSet drives the shard
+// kernels from outside (its parallel mode is goroutine-per-shard by design),
+// and the Coordinator — with its per-shard broker views — is the one
+// mutex-guarded structure shared between shard drivers. Methods on these
+// receivers, including closures nested inside them, are the deliberate
+// exception to the no-blocking rule; everything they call back into (the
+// controllers themselves) stays covered.
+var loopblockExemptRecv = map[string]bool{
+	"ShardSet":    true,
+	"Coordinator": true,
+	"shardBroker": true,
+}
+
 func runLoopblock(pass *Pass) error {
 	if NormalizePkgPath(pass.Pkg.Path()) != corePkg {
 		return nil
@@ -32,11 +47,57 @@ func runLoopblock(pass *Pass) error {
 		if inTestFile(pass.Fset, f.Pos()) {
 			continue
 		}
+		exempt := loopblockExemptRanges(f)
 		for _, fb := range funcBodies(f) {
+			if posInRanges(fb.body.Pos(), exempt) {
+				continue
+			}
 			loopblockFunc(pass, fb)
 		}
 	}
 	return nil
+}
+
+// loopblockExemptRanges returns the source span of every exempt-receiver
+// method in the file. Position containment also exempts function literals
+// nested inside those methods (the merged-log observers, the per-shard drain
+// goroutines).
+func loopblockExemptRanges(f *ast.File) [][2]token.Pos {
+	var out [][2]token.Pos
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+			continue
+		}
+		if loopblockExemptRecv[recvTypeName(fd.Recv.List[0].Type)] {
+			out = append(out, [2]token.Pos{fd.Pos(), fd.End()})
+		}
+	}
+	return out
+}
+
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func posInRanges(p token.Pos, ranges [][2]token.Pos) bool {
+	for _, r := range ranges {
+		if p >= r[0] && p < r[1] {
+			return true
+		}
+	}
+	return false
 }
 
 func loopblockFunc(pass *Pass, fb funcBody) {

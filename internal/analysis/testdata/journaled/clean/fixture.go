@@ -1,6 +1,10 @@
 package fixture
 
-import "errors"
+import (
+	"errors"
+
+	"griphon/internal/inventory"
+)
 
 type Connection struct {
 	stable int
@@ -11,6 +15,7 @@ type Booking struct{ phase int }
 
 type Controller struct {
 	bookings map[string]*Booking
+	led      *inventory.Ledger
 }
 
 func (c *Controller) journalCommit(reason string) {}

@@ -1,0 +1,30 @@
+package fixture
+
+import "griphon/internal/inventory"
+
+// Per-shard journal discipline. The cross-shard coordinator's ledger claims
+// are derived state — re-claimed during rehydration from the journaled
+// connections and pipes — so Claim/Release carry no commit obligation. The
+// quota, by contrast, is journaled by exactly the owning shard.
+
+type Coordinator struct {
+	led *inventory.Ledger
+}
+
+// claimPipe registers shared capacity to a shard without journaling: the
+// claim is rebuilt on replay, never replayed itself.
+func (co *Coordinator) claimPipe(shard inventory.Customer, token string) error {
+	return co.led.Claim(shard, token)
+}
+
+// releasePipe likewise retires derived state only.
+func (co *Coordinator) releasePipe(shard inventory.Customer, token string) error {
+	return co.led.Release(shard, token)
+}
+
+// setQuotaOnOwner lands the quota on the owning shard's controller, which
+// commits it to that shard's journal — the durable home of admission state.
+func (c *Controller) setQuotaOnOwner(cust inventory.Customer, q inventory.Quota) {
+	c.led.SetQuota(cust, q)
+	c.journalCommit("quota")
+}

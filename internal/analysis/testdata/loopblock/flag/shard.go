@@ -1,0 +1,38 @@
+package fixture
+
+import (
+	"sync"
+
+	"griphon/internal/sim"
+)
+
+// The receiver exemption is scoped to the cross-shard layer by name: the
+// same constructs on any other receiver are still event-loop code and still
+// flagged.
+
+type perShardController struct {
+	mu sync.Mutex
+	k  *sim.Kernel
+}
+
+func (c *perShardController) locked() {
+	c.mu.Lock() // want `sync\.Lock blocks the controller event loop`
+	defer c.mu.Unlock()
+}
+
+func (c *perShardController) reenter() {
+	for c.k.Step() { // want `Kernel\.Step re-enters the event loop`
+	}
+}
+
+func (c *perShardController) fork(fn func()) {
+	go fn() // want `goroutine launched from controller event-loop code`
+}
+
+// A closure outside an exempt method gets no exemption either.
+func observerOutsideShardSet(mu *sync.Mutex) func() {
+	return func() {
+		mu.Lock() // want `sync\.Lock blocks the controller event loop`
+		mu.Unlock()
+	}
+}

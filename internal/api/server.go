@@ -47,6 +47,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/alarms", s.handleAlarms)
 	mux.HandleFunc("GET /api/v1/sla", s.handleSLA)
+	mux.HandleFunc("GET /api/v1/shards", s.handleShards)
 	mux.HandleFunc("POST /api/v1/connect", s.handleConnect)
 	mux.HandleFunc("POST /api/v1/disconnect", s.handleDisconnect)
 	mux.HandleFunc("POST /api/v1/roll", s.handleRoll)
@@ -416,6 +417,25 @@ func (s *Server) handleSLA(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.writeJSON(w, http.StatusOK, FromSLAReport(s.net.SLA(r.URL.Query().Get("customer"))))
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.net.ShardSet()
+	out := ShardsResponse{Shards: set.Len()}
+	for i := 0; i < set.Len(); i++ {
+		st := set.Shard(i).Ctrl.Snapshot()
+		out.PerShard = append(out.PerShard, ShardJSON{
+			Index:         i,
+			Active:        st.Active,
+			Pending:       st.Pending,
+			Down:          st.Down,
+			ChannelsInUse: st.ChannelsInUse,
+			Pipes:         st.Pipes,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -330,6 +330,22 @@ type TopologyJSON struct {
 	Sites  []string `json:"sites"`
 }
 
+// ShardJSON reports one control-plane shard's load.
+type ShardJSON struct {
+	Index         int `json:"index"`
+	Active        int `json:"active"`
+	Pending       int `json:"pending"`
+	Down          int `json:"down"`
+	ChannelsInUse int `json:"channels_in_use"`
+	Pipes         int `json:"pipes"`
+}
+
+// ShardsResponse describes the sharded control plane.
+type ShardsResponse struct {
+	Shards   int         `json:"shards"`
+	PerShard []ShardJSON `json:"per_shard"`
+}
+
 // BillJSON reports a customer's usage bill.
 type BillJSON struct {
 	Customer string  `json:"customer"`

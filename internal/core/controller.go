@@ -95,7 +95,27 @@ type Config struct {
 	// AlarmLogSize bounds the correlated alarm-group log backing the
 	// customer alarm stream (default 512).
 	AlarmLogSize int
+	// Shard identifies this controller's slice of a sharded control plane
+	// (see ShardSet). The zero value is the unsharded default: no
+	// coordinator, plain connection IDs, identical behavior to every
+	// release before sharding existed.
+	Shard ShardInfo
 }
+
+// ShardInfo places a controller inside a ShardSet. Count <= 1 means
+// unsharded.
+type ShardInfo struct {
+	// Index is this shard's position in [0, Count).
+	Index int
+	// Count is the total number of shards.
+	Count int
+	// Coordinator brokers cross-shard spectrum and pipe capacity; nil when
+	// unsharded.
+	Coordinator *Coordinator
+}
+
+// sharded reports whether this controller is one shard of several.
+func (s ShardInfo) sharded() bool { return s.Count > 1 }
 
 // Controller is the GRIPhoN controller: the only component that talks to the
 // network elements, always through their EMSes, and the keeper of the
@@ -158,6 +178,18 @@ type Controller struct {
 	// pendingPipes tracks in-flight pipe builds by canonical node pair so
 	// concurrent circuit setups share them.
 	pendingPipes map[string]*sim.Job
+
+	shard ShardInfo
+	// pipeTokens maps a live OTN pipe to its cross-shard capacity token.
+	// Derived state: rebuilt by re-claiming during rehydration, never
+	// journaled.
+	pipeTokens map[otn.PipeID]string
+
+	// onEvent / onAlarmGroup, when set, observe every audit-log append and
+	// alarm-group append — a ShardSet merges per-shard streams through
+	// them.
+	onEvent      func(Event)
+	onAlarmGroup func(alarms.Group)
 }
 
 // New builds a controller over the given topology.
@@ -226,10 +258,17 @@ func New(k *sim.Kernel, g *topo.Graph, cfg Config) (*Controller, error) {
 		maint:        make(map[topo.LinkID]bool),
 		pipeCarrier:  make(map[otn.PipeID]ConnID),
 		pendingPipes: make(map[string]*sim.Job),
+		shard:        cfg.Shard,
+		pipeTokens:   make(map[otn.PipeID]string),
 		degradeToOTN: cfg.DegradeToOTN,
 		choreo:       cfg.Choreography,
 		tr:           cfg.Tracer,
 		reg:          cfg.Metrics,
+	}
+	if cfg.Shard.Coordinator != nil {
+		// Installed before any reservation so rehydration's spectrum
+		// replays re-register their cross-shard claims automatically.
+		plant.SetBroker(cfg.Shard.Coordinator.Broker(cfg.Shard.Index))
 	}
 	if cfg.PathCache {
 		c.pcache = &pathCache{entries: make(map[pathKey]pathEntry), version: g.Version()}
@@ -320,11 +359,31 @@ func (c *Controller) SetQuota(cust inventory.Customer, q inventory.Quota) {
 // Journal returns the journal store (nil when durability is disabled).
 func (c *Controller) Journal() *journal.Store { return c.jrnl }
 
-// Booking returns a booking by ID, or nil.
-func (c *Controller) Booking(id int) *Booking { return c.bookings[id] }
+// Booking returns cust's booking by ID. Booking IDs are small guessable
+// integers, so the lookup itself is the isolation gate: a booking owned by a
+// different customer is indistinguishable from one that does not exist.
+func (c *Controller) Booking(cust inventory.Customer, id int) (*Booking, error) {
+	b := c.bookings[id]
+	if b == nil || b.Req.Customer != cust {
+		return nil, fmt.Errorf("core: no booking %d for %s", id, cust)
+	}
+	return b, nil
+}
 
-// Bookings returns all bookings sorted by ID.
-func (c *Controller) Bookings() []*Booking { return c.sortedBookings() }
+// Bookings returns cust's bookings sorted by ID.
+func (c *Controller) Bookings(cust inventory.Customer) []*Booking {
+	var out []*Booking
+	for _, b := range c.sortedBookings() {
+		if b.Req.Customer == cust {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// AllBookings returns every booking sorted by ID — the operator view; the
+// customer-facing path is Bookings.
+func (c *Controller) AllBookings() []*Booking { return c.sortedBookings() }
 
 // FaultModel returns the EMS fault model (nil when chaos is disabled).
 func (c *Controller) FaultModel() *faults.Model { return c.faultModel }
@@ -392,7 +451,25 @@ func (c *Controller) log(conn ConnID, kind, format string, args ...any) {
 	if c.flight != nil {
 		c.flight.Event(e.At, string(e.Conn), e.Kind, e.Text)
 	}
+	if c.onEvent != nil {
+		c.onEvent(e)
+	}
 }
+
+// SetOnEvent installs an observer called after every audit-log append (nil
+// detaches). A ShardSet uses it to maintain a merged cross-shard log.
+func (c *Controller) SetOnEvent(fn func(Event)) { c.onEvent = fn }
+
+// SetOnAlarmGroup installs an observer called after every alarm-group append
+// (nil detaches).
+func (c *Controller) SetOnAlarmGroup(fn func(alarms.Group)) { c.onAlarmGroup = fn }
+
+// Shard returns this controller's placement in its ShardSet (zero when
+// unsharded).
+func (c *Controller) Shard() ShardInfo { return c.shard }
+
+// NowTime returns the controller's kernel clock.
+func (c *Controller) NowTime() sim.Time { return c.k.Now() }
 
 // EventsSince returns audit entries from index cursor on, plus the cursor to
 // resume from — the incremental form of Events for polling clients.
@@ -407,7 +484,14 @@ func (c *Controller) EventsSince(cursor int) ([]Event, int) {
 }
 
 func (c *Controller) newConnID() ConnID {
-	id := ConnID(fmt.Sprintf("C%04d", c.nextConn))
+	var id ConnID
+	if c.shard.sharded() {
+		// Shard-prefixed so IDs are unique across the ShardSet; unsharded
+		// controllers keep the historical plain form byte-for-byte.
+		id = ConnID(fmt.Sprintf("S%d.C%04d", c.shard.Index, c.nextConn))
+	} else {
+		id = ConnID(fmt.Sprintf("C%04d", c.nextConn))
+	}
 	c.nextConn++
 	return id
 }

@@ -48,6 +48,8 @@ type instruments struct {
 	pathcacheHits          *obs.Counter
 	pathcacheMisses        *obs.Counter
 	pathcacheInvalidations *obs.Counter
+	pathcacheEvictDeadLink *obs.Counter
+	pathcacheEvictBlocked  *obs.Counter
 	prearmClaimsSession    *obs.Counter
 	prearmClaimsOT         *obs.Counter
 	prearmRearmOK          *obs.Counter
@@ -132,6 +134,10 @@ func (c *Controller) initObs() {
 		"Path-cache lookups on cache-eligible route requests, by result.", "result", "miss")
 	c.ins.pathcacheInvalidations = r.Counter("griphon_pathcache_invalidations_total",
 		"Path-cache flushes triggered by link-state or topology changes.")
+	c.ins.pathcacheEvictDeadLink = r.Counter("griphon_pathcache_evictions_total",
+		"Single entries evicted on the lookup hit path, by reason.", "reason", "dead_link")
+	c.ins.pathcacheEvictBlocked = r.Counter("griphon_pathcache_evictions_total",
+		"Single entries evicted on the lookup hit path, by reason.", "reason", "wavelength_blocked")
 	c.ins.prearmClaimsSession = r.Counter("griphon_prearm_claims_total",
 		"Warm resources claimed by setups, by kind.", "kind", "session")
 	c.ins.prearmClaimsOT = r.Counter("griphon_prearm_claims_total",

@@ -42,9 +42,15 @@ type pathCache struct {
 }
 
 // pcacheFlush drops every cached route. Counted once per flush event, not per
-// entry — the signal of interest is "how often does state churn evict".
+// entry — the signal of interest is "how often does state churn evict". The
+// flush also syncs the cache's topology version, so a flush triggered by the
+// link-state observer is not re-counted by the next lookup's version check.
 func (c *Controller) pcacheFlush() {
-	if c.pcache == nil || len(c.pcache.entries) == 0 {
+	if c.pcache == nil {
+		return
+	}
+	c.pcache.version = c.g.Version()
+	if len(c.pcache.entries) == 0 {
 		return
 	}
 	c.pcache.entries = make(map[pathKey]pathEntry)
@@ -58,7 +64,6 @@ func (c *Controller) pcacheFlush() {
 func (c *Controller) pcacheLookup(key pathKey) (rwa.Route, bool) {
 	if c.pcache.version != c.g.Version() {
 		c.pcacheFlush()
-		c.pcache.version = c.g.Version()
 	}
 	e, ok := c.pcache.entries[key]
 	if !ok {
@@ -68,8 +73,10 @@ func (c *Controller) pcacheLookup(key pathKey) (rwa.Route, bool) {
 		if !c.plant.LinkUp(l) {
 			// Should have been flushed by the link-state observer; this
 			// is the last line of defense against reserving on a dead
-			// fiber.
+			// fiber. Counted apart from whole-cache invalidations — a
+			// rising dead_link rate means the observer is being bypassed.
 			delete(c.pcache.entries, key)
+			c.ins.pathcacheEvictDeadLink.Inc()
 			return rwa.Route{}, false
 		}
 	}
@@ -80,6 +87,7 @@ func (c *Controller) pcacheLookup(key pathKey) (rwa.Route, bool) {
 			// Cached path is wavelength-blocked right now; a full search
 			// may find a different path, so evict and miss.
 			delete(c.pcache.entries, key)
+			c.ins.pathcacheEvictBlocked.Inc()
 			return rwa.Route{}, false
 		}
 		channels = append(channels, ch)
@@ -91,7 +99,6 @@ func (c *Controller) pcacheLookup(key pathKey) (rwa.Route, bool) {
 func (c *Controller) pcacheStore(key pathKey, route rwa.Route) {
 	if c.pcache.version != c.g.Version() {
 		c.pcacheFlush()
-		c.pcache.version = c.g.Version()
 	}
 	c.pcache.entries[key] = pathEntry{path: route.Path, plan: route.Plan}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"griphon/internal/bw"
+	"griphon/internal/optics"
 	"griphon/internal/sim"
 	"griphon/internal/topo"
 )
@@ -149,11 +150,89 @@ func TestPathCacheStaleHitNeverReservesOnFailedLink(t *testing.T) {
 			t.Errorf("spectrum on failed link %s: %d channels in use, want 0", l, used)
 		}
 	}
-	// The dead entry was evicted on the failed hit.
+	// The dead entry was evicted on the failed hit — and that eviction is
+	// visible on its own counter, not silently folded into flushes.
 	if got := metricValue(t, c, "griphon_pathcache_lookups_total", `result="hit"`); got != 0 {
 		t.Errorf("hits = %v, want 0 (stale entry must not count as a hit)", got)
 	}
+	if got := metricValue(t, c, "griphon_pathcache_evictions_total", `reason="dead_link"`); got != 1 {
+		t.Errorf("dead_link evictions = %v, want 1", got)
+	}
 	auditClean(t, c)
+}
+
+// TestPathCacheEvictsWavelengthBlockedEntry: a cached path whose spectrum is
+// exhausted right now is evicted on the hit path and counted under its own
+// reason, while the full search routes around it.
+func TestPathCacheEvictsWavelengthBlockedEntry(t *testing.T) {
+	opt := optics.DefaultConfig()
+	opt.Channels = 1
+	k, c := newCacheTestbed(t, 1, Config{Optics: opt})
+
+	// First setup stays up, pinning the single channel on the cached path.
+	first := mustConnect(t, k, c, oneHop)
+	if first.Route().String() != "I-IV" {
+		t.Fatalf("first route = %s, want the direct I-IV", first.Route())
+	}
+	// Second identical request hits the cache, finds the path wavelength-
+	// blocked, evicts the entry and succeeds via the full search's detour.
+	second := mustConnect(t, k, c, oneHop)
+	if r := second.Route().String(); r == "I-IV" {
+		t.Fatalf("second route = %s reuses the exhausted fiber", r)
+	}
+	if got := metricValue(t, c, "griphon_pathcache_evictions_total", `reason="wavelength_blocked"`); got != 1 {
+		t.Errorf("wavelength_blocked evictions = %v, want 1", got)
+	}
+	if got := metricValue(t, c, "griphon_pathcache_lookups_total", `result="hit"`); got != 0 {
+		t.Errorf("hits = %v, want 0 (blocked entry must not count as a hit)", got)
+	}
+	auditClean(t, c)
+}
+
+// TestPathCacheObserverFlushSyncsVersion pins the flush/version alignment:
+// a flush triggered by the link-state observer must leave the cache's
+// topology version current, so the next lookup does not flush — and wipe a
+// freshly repopulated cache — a second time.
+func TestPathCacheObserverFlushSyncsVersion(t *testing.T) {
+	k, c := newCacheTestbed(t, 1, Config{})
+	connectAndRelease(t, k, c, oneHop)
+	key := pathKey{a: "I", b: "IV", rate: bw.Rate10G, protect: Restore}
+	entry, ok := c.pcache.entries[key]
+	if !ok {
+		t.Fatal("expected a cached entry for I->IV")
+	}
+
+	// Bump the topology version without a lookup in between...
+	if err := c.Graph().AddNode(topo.Node{ID: "V"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...then let the link-state observer trigger the flush.
+	if err := c.CutFiber("I-IV"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if err := c.RepairFiber("I-IV"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if c.pcache.version != c.Graph().Version() {
+		t.Fatalf("observer flush left cache at version %d, graph at %d",
+			c.pcache.version, c.Graph().Version())
+	}
+
+	// Work repopulating the cache between the flush and the next lookup
+	// must survive that lookup.
+	c.pcache.entries[key] = entry
+	conn := mustConnect(t, k, c, oneHop)
+	if conn.Route().String() != "I-IV" {
+		t.Errorf("route = %s, want the cached direct I-IV", conn.Route())
+	}
+	if got := metricValue(t, c, "griphon_pathcache_lookups_total", `result="hit"`); got != 1 {
+		t.Errorf("hits = %v, want 1 (repopulated entry served)", got)
+	}
+	if got := metricValue(t, c, "griphon_pathcache_invalidations_total", ""); got != 1 {
+		t.Errorf("invalidations = %v, want 1 (the observer flush only)", got)
+	}
 }
 
 // TestPathCacheKeyedByProtection: a 1+1 request and a restorable request

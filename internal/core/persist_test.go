@@ -238,9 +238,9 @@ func TestRehydrateReArmsPendingBooking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2 := c2.Booking(b.ID)
-	if b2 == nil {
-		t.Fatal("booking not recovered")
+	b2, err := c2.Booking("csp1", b.ID)
+	if err != nil {
+		t.Fatalf("booking not recovered: %v", err)
 	}
 	k2.Run()
 	if !b2.Done.Done() {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"griphon/internal/inventory"
 	"griphon/internal/sim"
 )
 
@@ -31,6 +32,9 @@ type Booking struct {
 
 	// phase tracks the booking through its lifecycle (persist.go).
 	phase int
+	// closing marks a close in flight (transient, never journaled): an
+	// early cancel and the hold timer must not both tear the window down.
+	closing bool
 	// closeAt is when the window closes, fixed once setup completes.
 	closeAt sim.Time
 }
@@ -79,6 +83,9 @@ func (c *Controller) scheduleOpen(b *Booking) {
 }
 
 func (c *Controller) openBooking(b *Booking) {
+	if b.phase != bookingPending {
+		return // cancelled before the window opened; the timer is a no-op
+	}
 	conns, job, err := c.ConnectComposite(b.Req)
 	if err != nil {
 		b.SetupErr = err
@@ -120,7 +127,37 @@ func (c *Controller) openBooking(b *Booking) {
 	})
 }
 
+// CancelBooking ends cust's booking early: a pending window is descheduled
+// before it opens, an open one has its components released now. Ownership is
+// verified the same way Booking is, so a guessed ID belonging to another
+// tenant reads as unknown. The returned job completes when every component is
+// released (immediately for a pending booking).
+func (c *Controller) CancelBooking(cust inventory.Customer, id int) (*sim.Job, error) {
+	b, err := c.Booking(cust, id)
+	if err != nil {
+		return nil, err
+	}
+	switch b.phase {
+	case bookingPending:
+		b.phase = bookingClosed
+		c.log("", "booking-cancel", "%s cancelled booking %d before its window", cust, id)
+		c.journalCommit(commitSet{reason: "booking-cancel", bookings: []*Booking{b}})
+		b.Done.Complete(nil)
+		return b.Done, nil
+	case bookingOpen:
+		c.log("", "booking-cancel", "%s closing booking %d early", cust, id)
+		c.closeBooking(b)
+		return b.Done, nil
+	default:
+		return nil, fmt.Errorf("core: booking %d already finished", id)
+	}
+}
+
 func (c *Controller) closeBooking(b *Booking) {
+	if b.phase != bookingOpen || b.closing {
+		return // cancelled, closing, or closed; the hold timer is a no-op
+	}
+	b.closing = true
 	var jobs []*sim.Job
 	for _, conn := range b.Conns {
 		if conn.State == StateReleased || conn.State == StateTearingDown {

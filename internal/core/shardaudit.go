@@ -1,0 +1,112 @@
+package core
+
+// Cross-shard invariant auditing. Each shard's own AuditInvariants covers its
+// slice of the books; the sweeps here cover what only the set can see — that
+// the shards' views of the shared plant agree with the coordinator's, and
+// that no customer's state leaked onto a shard that doesn't own them.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AuditInvariants audits every shard's books plus the cross-shard invariants:
+//
+//   - every per-shard finding, its detail prefixed with the shard;
+//   - xshard-spectrum: every channel a shard's plant has lit on a shared
+//     fiber is backed by that shard's coordinator claim;
+//   - xshard-leak: every coordinator claim a shard holds is backed by a
+//     shard-local reservation (a lit channel, a live pipe token) — the
+//     converse direction, catching claims that outlive their resource;
+//   - xshard-pipe: each shard holds exactly one pipe token per live pipe;
+//   - tenant-leak: every customer with state on a shard actually hashes to
+//     that shard;
+//   - xshard-violation: release/claim inconsistencies the coordinator
+//     recorded as they happened.
+//
+// Empty means every shard's books balance and the shards agree with the
+// coordinator. Read-only, safe between events like the per-shard audit.
+func (s *ShardSet) AuditInvariants() []Finding {
+	var out []Finding
+	report := func(kind, format string, args ...any) {
+		out = append(out, Finding{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	for i, sh := range s.shards {
+		for _, f := range sh.Ctrl.AuditInvariants() {
+			out = append(out, Finding{Kind: f.Kind, Detail: fmt.Sprintf("shard-%d: %s", i, f.Detail)})
+		}
+	}
+	if s.coord == nil {
+		return out
+	}
+
+	for i, sh := range s.shards {
+		c := sh.Ctrl
+
+		// Shard-side resources the leak sweep matches claims against.
+		litChannels := map[string]bool{} // "link:ch"
+		for _, l := range c.g.Links() {
+			sp := c.plant.Spectrum(l.ID)
+			for _, ch := range sp.UsedChannels() {
+				litChannels[fmt.Sprintf("%s:%d", l.ID, ch)] = true
+				if !s.coord.ownsChannel(i, l.ID, ch) {
+					report("xshard-spectrum", "shard-%d lit channel %d on %s without a coordinator claim (owner %q)",
+						i, ch, l.ID, sp.Owner(ch))
+				}
+			}
+		}
+		tokens := map[string]bool{}
+		for _, token := range c.pipeTokens {
+			tokens[token] = true
+		}
+
+		for _, key := range s.coord.shardClaims(i) {
+			switch {
+			case strings.HasPrefix(key, "spectrum:"):
+				if !litChannels[strings.TrimPrefix(key, "spectrum:")] {
+					report("xshard-leak", "shard-%d claim %q has no lit channel behind it", i, key)
+				}
+			case strings.HasPrefix(key, "pipe:"):
+				if !tokens[key] {
+					report("xshard-leak", "shard-%d claim %q has no live pipe token behind it", i, key)
+				}
+			}
+		}
+
+		if got, want := len(c.pipeTokens), len(c.fabric.Pipes()); got != want {
+			report("xshard-pipe", "shard-%d holds %d pipe tokens for %d live pipes", i, got, want)
+		}
+
+		// Customer-owned state must live on the owning shard. The carrier's
+		// internal conns and the coordinator's synthetic customers are
+		// shard-local by construction and exempt.
+		ids := make([]string, 0, len(c.conns))
+		for id := range c.conns {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			conn := c.conns[ConnID(id)]
+			if conn.Internal || conn.State == StateReleased {
+				continue
+			}
+			if want := s.ShardFor(conn.Customer); want != i {
+				report("tenant-leak", "connection %s of %s lives on shard-%d, owner is shard-%d",
+					conn.ID, conn.Customer, i, want)
+			}
+		}
+		for _, b := range c.AllBookings() {
+			if want := s.ShardFor(b.Req.Customer); want != i {
+				report("tenant-leak", "booking %d of %s lives on shard-%d, owner is shard-%d",
+					b.ID, b.Req.Customer, i, want)
+			}
+		}
+	}
+
+	for _, v := range s.coord.Violations() {
+		report("xshard-violation", "%s", v)
+	}
+	return out
+}

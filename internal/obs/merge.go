@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// injectLabel prepends key="val" to a rendered label block.
+func injectLabel(labels, key, val string) string {
+	head := fmt.Sprintf("{%s=%q", key, val)
+	if labels == "" {
+		return head + "}"
+	}
+	return head + "," + labels[1:]
+}
+
+// WriteMergedPrometheus exports several registries as one Prometheus text
+// stream, distinguishing their samples with an injected label (e.g.
+// shard="2"). Families sharing a name across registries are folded into one
+// HELP/TYPE header; within a family, samples appear registry by registry in
+// the given order, children in label order — deterministic, like
+// WritePrometheus. Registries and labelVals pair up by index.
+func WriteMergedPrometheus(w io.Writer, labelKey string, labelVals []string, regs []*Registry) error {
+	if len(labelVals) != len(regs) {
+		return fmt.Errorf("obs: %d label values for %d registries", len(labelVals), len(regs))
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range regs {
+		for _, name := range r.names {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		headerDone := false
+		for ri, r := range regs {
+			f, ok := r.families[name]
+			if !ok {
+				continue
+			}
+			if !headerDone {
+				headerDone = true
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.kind); err != nil {
+					return err
+				}
+			}
+			for _, i := range sortedChildren(f) {
+				ch := f.children[i]
+				labels := injectLabel(ch.labels, labelKey, labelVals[ri])
+				switch {
+				case ch.h != nil:
+					h := ch.h
+					cum := uint64(0)
+					for bi, bound := range h.bounds {
+						cum += h.counts[bi]
+						le := fmtFloat(bound)
+						if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLE(labels, le), cum); err != nil {
+							return err
+						}
+					}
+					cum += h.counts[len(h.bounds)]
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLE(labels, "+Inf"), cum); err != nil {
+						return err
+					}
+					if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+						name, labels, fmtFloat(h.sum), name, labels, h.n); err != nil {
+						return err
+					}
+				case ch.fn != nil:
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, fmtFloat(ch.fn())); err != nil {
+						return err
+					}
+				case ch.c != nil:
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, fmtFloat(ch.c.Value())); err != nil {
+						return err
+					}
+				case ch.g != nil:
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, fmtFloat(ch.g.Value())); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -58,6 +58,21 @@ type Plant struct {
 	// incrementally on every Reserve/Release so most-used/least-used
 	// wavelength assignment never rescans the network's spectra.
 	usage []int32
+	// broker, when non-nil, arbitrates channels shared with other plants
+	// (see SetBroker).
+	broker Broker
+}
+
+// Broker arbitrates spectrum that is shared beyond one plant — in the sharded
+// controller every shard holds a replica of the photonic plant, and the
+// cross-shard coordinator implements Broker to keep two shards from lighting
+// the same wavelength on the same fiber. ClaimChannel may veto a Reserve (the
+// hard guarantee); MaskForeign removes channels claimed elsewhere from a
+// continuity bitset so searches rarely pick a channel the claim would veto.
+type Broker interface {
+	ClaimChannel(link topo.LinkID, ch Channel, owner string) error
+	ReleaseChannel(link topo.LinkID, ch Channel)
+	MaskForeign(link topo.LinkID, words []uint64)
 }
 
 // NewPlant builds the photonic plant for g. Each node gets a transponder bank
@@ -140,6 +155,25 @@ func (p *Plant) ReachFor(rate bw.Rate) float64 {
 
 // Spectrum returns the wavelength occupancy of a link, or nil if unknown.
 func (p *Plant) Spectrum(id topo.LinkID) *Spectrum { return p.spectra[id] }
+
+// SetBroker installs (or, with nil, detaches) a cross-plant spectrum broker.
+// Every spectrum gains a gate that claims the channel with the broker before
+// reserving and releases the claim on Release; CommonFree additionally masks
+// out channels claimed by foreign plants.
+func (p *Plant) SetBroker(b Broker) {
+	p.broker = b
+	for id, s := range p.spectra {
+		if b == nil {
+			s.gate, s.ungate = nil, nil
+			continue
+		}
+		link := id
+		s.gate = func(ch Channel, owner string) error {
+			return b.ClaimChannel(link, ch, owner)
+		}
+		s.ungate = func(ch Channel) { b.ReleaseChannel(link, ch) }
+	}
+}
 
 // OTs returns the transponder bank at a node, or nil if unknown.
 func (p *Plant) OTs(id topo.NodeID) *OTBank { return p.ots[id] }
@@ -245,6 +279,9 @@ func (p *Plant) CommonFree(links []topo.LinkID) (FreeSet, bool) {
 		}
 		for w := range buf {
 			buf[w] &^= s.words[w]
+		}
+		if p.broker != nil {
+			p.broker.MaskForeign(id, buf)
 		}
 	}
 	if tail := p.cfg.Channels & 63; tail != 0 {

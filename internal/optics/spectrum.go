@@ -28,6 +28,14 @@ type Spectrum struct {
 	// onChange, when set, observes every successful Reserve/Release — the
 	// Plant uses it to maintain global per-channel usage counters.
 	onChange func(ch Channel, reserved bool)
+	// gate, when set, can veto a Reserve after local validation but before
+	// any mutation — the hook a cross-shard coordinator uses to arbitrate
+	// spectrum shared between control-plane shards. A gate error leaves the
+	// spectrum untouched.
+	gate func(ch Channel, owner string) error
+	// ungate, when set, observes every successful Release so the gate's
+	// bookkeeping can retire its claim.
+	ungate func(ch Channel)
 }
 
 // NewSpectrum returns a spectrum with the given channel count.
@@ -72,6 +80,11 @@ func (s *Spectrum) Reserve(ch Channel, owner string) error {
 	if s.words[w]&bit != 0 {
 		return fmt.Errorf("optics: channel %d already owned by %s", ch, s.owner[ch])
 	}
+	if s.gate != nil {
+		if err := s.gate(ch, owner); err != nil {
+			return err
+		}
+	}
 	s.words[w] |= bit
 	s.used++
 	s.owner[ch] = owner
@@ -94,6 +107,9 @@ func (s *Spectrum) Release(ch Channel) error {
 	s.words[w] &^= bit
 	s.used--
 	delete(s.owner, ch)
+	if s.ungate != nil {
+		s.ungate(ch)
+	}
 	if s.onChange != nil {
 		s.onChange(ch, false)
 	}

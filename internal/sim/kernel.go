@@ -208,6 +208,17 @@ func (k *Kernel) RunUntil(deadline Time) {
 // RunFor executes events for the next d of virtual time.
 func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
 
+// NextAt reports the timestamp of the earliest pending event, if any. It
+// lets a multi-kernel driver (core.ShardSet) interleave several kernels in
+// deterministic global time order without executing anything.
+func (k *Kernel) NextAt() (Time, bool) {
+	ev := k.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // peek returns the earliest non-cancelled event without removing it.
 func (k *Kernel) peek() *event {
 	for k.queue.Len() > 0 {

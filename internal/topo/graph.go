@@ -165,6 +165,29 @@ func (g *Graph) AddSite(s Site) error {
 // concurrent use as long as the graph itself is not being mutated.
 func (g *Graph) Index() *Index { return g.compiled.get(g) }
 
+// Clone returns a deep copy of the graph: independent node/link/site records
+// and a fresh (unbuilt) compiled cache. Shards of a multi-tenant controller
+// each clone the topology so their lazily-built Index caches never race.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for id, n := range g.nodes {
+		cp := *n
+		c.nodes[id] = &cp
+	}
+	for _, l := range g.Links() { // sorted, so adjacency order is deterministic
+		cp := *l
+		c.links[cp.ID] = &cp
+		c.adj[cp.A] = append(c.adj[cp.A], &cp)
+		c.adj[cp.B] = append(c.adj[cp.B], &cp)
+	}
+	for id, s := range g.sites {
+		cp := *s
+		c.sites[id] = &cp
+	}
+	c.version = g.version
+	return c
+}
+
 // Node returns the node with the given ID, or nil.
 func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
 

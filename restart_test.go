@@ -120,9 +120,9 @@ func TestRestartRecoversState(t *testing.T) {
 
 	// The re-armed booking fires when its window opens on the new process.
 	net2.Advance(3 * time.Hour)
-	b := net2.Controller().Booking(booking.ID)
-	if b == nil {
-		t.Fatal("booking lost across restart")
+	b, err := net2.Booking("acme", booking.ID)
+	if err != nil {
+		t.Fatalf("booking lost across restart: %v", err)
 	}
 	if len(b.Conns) == 0 || b.SetupErr != nil {
 		t.Errorf("booking did not open after restart: conns=%d err=%v", len(b.Conns), b.SetupErr)
