@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint cover bench profile reproduce examples daemon trace latency clean
+.PHONY: all build test vet lint cover bench profile reproduce examples daemon trace latency serve clean
 
 all: build test
 
@@ -56,6 +56,11 @@ daemon:
 # serial choreography vs graph + path cache + pre-arm, per service class.
 latency:
 	$(GO) run ./cmd/griphon-bench -latency 120
+
+# Regenerate the journal/API hot-path numbers (BENCH_PR10.json): group commit
+# vs per-commit fsync, fast vs legacy HTTP response path over a real listener.
+serve:
+	$(GO) run ./cmd/griphon-bench -serve 4000
 
 # Record a setup -> cut -> restore demo trace; load trace.json in
 # ui.perfetto.dev or chrome://tracing to see the EMS step ladder.

@@ -17,6 +17,8 @@
 //	griphon-bench -tenants 1000       # multi-tenant scaling benchmark: write BENCH_PR9.json
 //	griphon-bench -tenants-gate BENCH_PR9.json   # fail on speedup collapse or audit findings
 //	griphon-bench -chaos 300 -tenants 50 -shards 4   # multi-tenant soak with cross-shard audit
+//	griphon-bench -serve 4000         # journal/API hot-path benchmark: write BENCH_PR10.json
+//	griphon-bench -serve-gate BENCH_PR10.json    # fail on group-commit or fast-path speedup collapse
 package main
 
 import (
@@ -49,7 +51,28 @@ func main() {
 	tenantsGate := flag.String("tenants-gate", "", "re-run the tenant benchmark against this committed baseline and fail on correctness or speedup collapse")
 	tenantsTol := flag.Float64("tenants-tol", 0.50, "relative tolerance for the -tenants-gate speedup comparison")
 	shards := flag.Int("shards", 4, "shard count for the -chaos -tenants soak")
+	serve := flag.Int("serve", 0, "run the journal/API hot-path benchmark with this many ops per mode and write the JSON report")
+	serveOut := flag.String("serve-out", "BENCH_PR10.json", "where -serve writes the JSON report")
+	serveGate := flag.String("serve-gate", "", "re-run the serve benchmark at this committed baseline's seed/iters and fail on speedup collapse")
+	serveTol := flag.Float64("serve-tol", 0.50, "relative tolerance for the -serve-gate speedup comparison")
 	flag.Parse()
+
+	if *serveGate != "" {
+		if err := runServeGate(*serveGate, *serveTol); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-gate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serve gate passed against %s (tolerance %.0f%%)\n", *serveGate, *serveTol*100)
+		return
+	}
+
+	if *serve > 0 {
+		if err := runServeBench(*seed, *serve, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tenantsGate != "" {
 		if err := runTenantsGate(*tenantsGate, *tenantsTol); err != nil {

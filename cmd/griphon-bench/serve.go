@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"griphon/internal/experiments"
+)
+
+// Acceptance floors the committed baseline must demonstrate: group commit
+// must beat per-commit fsync by 5x, the fast HTTP path must beat the legacy
+// path by 2x.
+const (
+	serveJournalFloor = 5.0
+	serveHTTPFloor    = 2.0
+)
+
+// runServeBench runs the journal/API hot-path benchmark and writes the JSON
+// report CI commits as the regression baseline.
+func runServeBench(seed int64, iters int, out string) error {
+	rep, err := experiments.ServeBench(seed, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("journal  per-commit %.0f ops/s | group %.0f ops/s (%.1fx, %d fsyncs for %d appends)\n",
+		rep.Journal.PerCommitOpsPerSec, rep.Journal.GroupOpsPerSec, rep.Journal.Speedup,
+		rep.Journal.GroupFsyncs, rep.Journal.Appends)
+	fmt.Printf("http     legacy %.0f ops/s p99=%.3fms | fast %.0f ops/s p99=%.3fms (%.1fx, p99 ratio %.2f)\n",
+		rep.HTTP.Legacy.OpsPerSec, rep.HTTP.Legacy.P99Ms,
+		rep.HTTP.Fast.OpsPerSec, rep.HTTP.Fast.P99Ms, rep.HTTP.Speedup, rep.HTTP.P99Ratio)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (seed %d, %d ops per mode)\n", out, seed, iters)
+	if rep.Journal.Speedup < serveJournalFloor {
+		return fmt.Errorf("journal group-commit speedup %.1fx is below the %.0fx acceptance floor", rep.Journal.Speedup, serveJournalFloor)
+	}
+	if rep.HTTP.Speedup < serveHTTPFloor {
+		return fmt.Errorf("http fast-path speedup %.1fx is below the %.0fx acceptance floor", rep.HTTP.Speedup, serveHTTPFloor)
+	}
+	return nil
+}
+
+// runServeGate validates the committed baseline against the acceptance
+// floors, re-runs the benchmark at its seed and iteration count, and fails if
+// either speedup collapsed beyond the tolerance or the fast path's p99 is no
+// longer flat relative to legacy. Tolerance is generous because both numbers
+// are wall-clock and CI hosts vary.
+func runServeGate(path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want experiments.ServeReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if want.Iters <= 0 {
+		return fmt.Errorf("%s holds a non-positive iteration count", path)
+	}
+	if want.Journal.Speedup < serveJournalFloor {
+		return fmt.Errorf("committed journal speedup %.1fx is below the %.0fx acceptance floor", want.Journal.Speedup, serveJournalFloor)
+	}
+	if want.HTTP.Speedup < serveHTTPFloor {
+		return fmt.Errorf("committed http speedup %.1fx is below the %.0fx acceptance floor", want.HTTP.Speedup, serveHTTPFloor)
+	}
+	got, err := experiments.ServeBench(want.Seed, want.Iters)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	check := func(name string, gotV, wantV float64) {
+		limit := wantV * (1 - tol)
+		status := "ok"
+		if gotV < limit {
+			status = "REGRESSED"
+			violations = append(violations,
+				fmt.Sprintf("%s %.1fx fell below committed %.1fx by more than %.0f%%", name, gotV, wantV, tol*100))
+		}
+		fmt.Printf("%-16s %.1fx vs committed %.1fx (floor %.1fx): %s\n", name, gotV, wantV, limit, status)
+	}
+	check("journal-speedup", got.Journal.Speedup, want.Journal.Speedup)
+	check("http-speedup", got.HTTP.Speedup, want.HTTP.Speedup)
+	p99Limit := (1 + tol)
+	status := "ok"
+	if got.HTTP.P99Ratio > p99Limit {
+		status = "REGRESSED"
+		violations = append(violations,
+			fmt.Sprintf("fast-path p99 is %.2fx legacy's, above the %.2fx flatness limit", got.HTTP.P99Ratio, p99Limit))
+	}
+	fmt.Printf("%-16s %.2fx of legacy p99 (limit %.2fx): %s\n", "http-p99-ratio", got.HTTP.P99Ratio, p99Limit, status)
+	if len(violations) > 0 {
+		return fmt.Errorf("%d regression(s): %v", len(violations), violations)
+	}
+	return nil
+}

@@ -89,6 +89,7 @@ type config struct {
 	tracing  bool
 	stateDir string
 	fsync    bool
+	segSize  int64
 	shards   int
 	maxPipes int
 }
@@ -184,6 +185,16 @@ func WithFsync() Option {
 	return func(c *config) { c.fsync = true }
 }
 
+// WithWALSegmentSize bounds each write-ahead-log segment to roughly n bytes
+// (only meaningful with WithStateDir). The journal rotates to a fresh segment
+// once the active one crosses the bound and compacts segments a snapshot
+// fully covers in the background; smaller segments mean faster reclamation
+// after snapshots at the cost of more files. 0 keeps the 4 MiB default,
+// negative disables rotation (one unbounded segment, the historical layout).
+func WithWALSegmentSize(n int64) Option {
+	return func(c *config) { c.segSize = n }
+}
+
 // WithShards partitions the control plane into n shards, each a full
 // controller (own event loop, own journal under <stateDir>/shard-<i>, own
 // plant replica) serving the customers that hash to it. Spectrum on shared
@@ -242,6 +253,7 @@ func New(t *Topology, opts ...Option) (*Network, error) {
 		Core:            cfg.core,
 		StateDir:        cfg.stateDir,
 		Fsync:           cfg.fsync,
+		SegmentSize:     cfg.segSize,
 		Tracing:         cfg.tracing,
 		MaxPipesPerPair: cfg.maxPipes,
 	})

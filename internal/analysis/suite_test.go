@@ -19,6 +19,10 @@ func TestWallclock(t *testing.T) {
 	// The durable state store does real file I/O but earns no clock
 	// exemption: journal records carry virtual time or replay diverges.
 	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/journal", "griphon/internal/journal/fixture")
+	// The background segment compactor does file I/O on a goroutine but may
+	// not pace or age anything off the host clock: retention keys off
+	// sequence numbers so replayed directories compact like live ones.
+	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock/compactor", "griphon/internal/journal/fixture")
 	// sim.Graph node closures run on the virtual clock; choreography code
 	// (which lives outside the sim exemption) must not smuggle the host
 	// clock into a node body.

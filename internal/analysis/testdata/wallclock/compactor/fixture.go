@@ -1,0 +1,49 @@
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// This fixture is checked under griphon/internal/journal/..., the shape of
+// the background WAL compactor. The compactor goroutine unlinks sealed
+// segments off the commit path; that is pure file I/O and needs no clock at
+// all. What the analyzer must keep out is the tempting pattern of pacing or
+// debouncing the compactor with host-clock timers — retention decisions must
+// key off sequence numbers in the records, never elapsed host time, or a
+// replayed directory would compact differently than the live one did.
+
+// compactCovered is the legal shape: claim the covered segments under the
+// lock, unlink on a goroutine, no clock anywhere.
+func compactCovered(mu *sync.Mutex, wg *sync.WaitGroup, covered []string) {
+	mu.Lock()
+	claimed := append([]string(nil), covered...)
+	mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, path := range claimed {
+			_ = os.Remove(path)
+		}
+	}()
+}
+
+// debounceCompaction is the bug: pacing the compactor off the host clock
+// makes on-disk layout depend on scheduling, not on the journal's contents.
+func debounceCompaction(pending <-chan string) {
+	for {
+		select {
+		case path := <-pending:
+			_ = os.Remove(path)
+		case <-time.After(time.Second): // want `time\.After reads the wall clock`
+			return
+		}
+	}
+}
+
+// ageBasedRetention keeps segments younger than a host-clock horizon — the
+// same bug in accounting form: two replays of one directory would disagree.
+func ageBasedRetention(modTime time.Time) bool {
+	return time.Since(modTime) < time.Hour // want `time\.Since reads the wall clock`
+}

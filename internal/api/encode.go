@@ -1,0 +1,261 @@
+package api
+
+// Response-path machinery: pooled encode buffers, pre-encoded static bodies,
+// and a version-invalidated GET response cache. The API fronts a
+// single-threaded simulation, so every byte saved on the marshal path is
+// throughput; the benchmark harness (griphon-bench -serve) drives this path
+// over real HTTP and gates it in CI. WithLegacyEncoding preserves the
+// original allocate-per-response behavior so the benchmark compares the two
+// honestly inside one binary.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Option tunes a Server at construction.
+type Option func(*Server)
+
+// WithLegacyEncoding restores the pre-optimization response path: one
+// json.Marshal allocation per response, no buffer pooling, no static bodies,
+// no GET cache. It exists so the serve benchmark can measure the fast path
+// against the original inside the same binary.
+func WithLegacyEncoding() Option {
+	return func(s *Server) { s.legacy = true }
+}
+
+// encState is a pooled response encoder: a reusable buffer with a JSON
+// encoder bound to it. json.Encoder.Encode emits exactly json.Marshal's bytes
+// plus a trailing newline — the same wire format the marshal path produced.
+type encState struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &encState{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// bufPool holds request-body read buffers.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Pre-encoded bodies for the fixed-shape mutation responses.
+var (
+	bodyReleased = []byte("{\"status\":\"released\"}\n")
+	bodyCut      = []byte("{\"status\":\"cut\"}\n")
+	bodyRepaired = []byte("{\"status\":\"repaired\"}\n")
+)
+
+// jsonContentType is the shared Content-Type header value — assigned, never
+// mutated, so hot responses skip the per-call slice Header().Set allocates.
+var jsonContentType = []string{"application/json"}
+
+// writeStatic sends a pre-encoded JSON body. Under legacy encoding it falls
+// back to marshaling the equivalent map, as the original handlers did.
+func (s *Server) writeStatic(w http.ResponseWriter, body []byte, legacyStatus string) {
+	if s.legacy {
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": legacyStatus})
+		return
+	}
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(body); err != nil {
+		s.encodeErrs.Inc() // client gone; record it and move on
+	}
+}
+
+// encode renders v into e's buffer (reset first).
+func (s *Server) encode(e *encState, v any) error {
+	if s.testEncodeErr != nil {
+		if err := s.testEncodeErr(v); err != nil {
+			return err
+		}
+	}
+	e.buf.Reset()
+	if s.legacy {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		e.buf.Write(b) //lint:allow errcheck bytes.Buffer never errors
+		e.buf.WriteByte('\n')
+		return nil
+	}
+	return e.enc.Encode(v)
+}
+
+// cachedResp is one cached GET response.
+type cachedResp struct {
+	status int
+	ctype  string
+	body   []byte
+}
+
+// respCache memoizes GET responses keyed by request URI, invalidated whole
+// whenever any mutation lands. The version counter closes the race between a
+// GET rendering under the server mutex and a concurrent mutation: a response
+// computed against version N is only stored if the cache is still at N.
+type respCache struct {
+	mu      sync.Mutex
+	version uint64
+	entries map[string]cachedResp
+}
+
+// maxCacheEntries bounds the cache between invalidations; distinct query
+// strings past the cap simply go uncached.
+const maxCacheEntries = 1024
+
+func (c *respCache) snapshot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+func (c *respCache) get(key string) (cachedResp, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	return r, ok
+}
+
+func (c *respCache) putIfVersion(key string, version uint64, r cachedResp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != version || len(c.entries) >= maxCacheEntries {
+		return
+	}
+	if c.entries == nil {
+		c.entries = make(map[string]cachedResp)
+	}
+	c.entries[key] = r
+}
+
+// bump invalidates everything: the state changed.
+func (c *respCache) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	c.entries = nil
+}
+
+// cacheable reports whether a GET path's response is a pure function of the
+// committed state. The metrics and trace endpoints are excluded: metrics move
+// on scrapes themselves (cache counters, scrape timestamps) and traces
+// accumulate outside the mutation path.
+func cacheable(path string) bool {
+	switch path {
+	case "/api/v1/metrics", "/api/v1/trace":
+		return false
+	}
+	return true
+}
+
+// teeWriter duplicates a handler's response into a buffer so a cache fill
+// costs no extra render.
+type teeWriter struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (t *teeWriter) WriteHeader(status int) {
+	t.status = status
+	t.ResponseWriter.WriteHeader(status)
+}
+
+func (t *teeWriter) Write(p []byte) (int, error) {
+	t.buf.Write(p) //lint:allow errcheck bytes.Buffer never errors
+	return t.ResponseWriter.Write(p)
+}
+
+// withCache wraps the routing table: GETs on cacheable paths are served from
+// (and fill) the response cache; every POST invalidates it.
+func (s *Server) withCache(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			next.ServeHTTP(w, r)
+			s.cache.bump()
+			return
+		}
+		if s.legacy || r.Method != http.MethodGet || !cacheable(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := r.URL.RequestURI()
+		if resp, ok := s.cache.get(key); ok {
+			s.cacheHits.Inc()
+			w.Header().Set("Content-Type", resp.ctype)
+			w.WriteHeader(resp.status)
+			if _, err := w.Write(resp.body); err != nil {
+				s.encodeErrs.Inc()
+			}
+			return
+		}
+		s.cacheMisses.Inc()
+		version := s.cache.snapshot()
+		tee := &teeWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(tee, r)
+		if tee.status == http.StatusOK {
+			s.cache.putIfVersion(key, version, cachedResp{
+				status: tee.status,
+				ctype:  tee.Header().Get("Content-Type"),
+				body:   append([]byte(nil), tee.buf.Bytes()...),
+			})
+		}
+	})
+}
+
+// writeJSON encodes v fully before touching the ResponseWriter, so an encode
+// failure still yields a well-formed 500 instead of a truncated 200 body.
+// If even the error envelope refuses to encode, the terminal fallback is
+// plain text — the response is never silently empty. Encode and write
+// failures both count in griphon_api_encode_errors_total.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*encState)
+	defer encPool.Put(e)
+	if err := s.encode(e, v); err != nil {
+		s.encodeErrs.Inc()
+		if encErr := s.encode(e, ErrorJSON{Error: fmt.Sprintf("encoding response: %s", err)}); encErr != nil {
+			// Terminal fallback: the error envelope itself would not encode.
+			s.encodeErrs.Inc()
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "encoding response: %s\n", err) //lint:allow errcheck best effort on the terminal error path
+			return
+		}
+		status = http.StatusInternalServerError
+	}
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(status)
+	if _, err := w.Write(e.buf.Bytes()); err != nil {
+		s.encodeErrs.Inc() // client gone; record it and move on
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, ErrorJSON{Error: err.Error()})
+}
+
+// readJSON decodes the request body through a pooled buffer, keeping the
+// strict unknown-field rejection of the original decoder path.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}

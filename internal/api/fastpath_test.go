@@ -1,0 +1,219 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"griphon"
+)
+
+func newNet(t *testing.T) *griphon.Network {
+	t.Helper()
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestWriteJSONTerminalFallback pins the fix for the silent error-path
+// recursion: when even the error envelope cannot be encoded, the response
+// must degrade to plain text — never an empty 500 body.
+func TestWriteJSONTerminalFallback(t *testing.T) {
+	s := NewServer(newNet(t))
+	s.testEncodeErr = func(any) error { return fmt.Errorf("boom") }
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]string{"fine": "value"})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain fallback", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "encoding response: boom") {
+		t.Fatalf("terminal fallback body = %q", body)
+	}
+	if got := s.encodeErrs.Value(); got != 2 {
+		t.Errorf("encode errors = %v, want 2 (value + envelope)", got)
+	}
+}
+
+// TestStaticBodiesMatchLegacy pins the pre-encoded mutation responses to the
+// bytes the legacy marshal path produces.
+func TestStaticBodiesMatchLegacy(t *testing.T) {
+	legacy := NewServer(newNet(t), WithLegacyEncoding())
+	for _, c := range []struct {
+		body   []byte
+		status string
+	}{
+		{bodyReleased, "released"},
+		{bodyCut, "cut"},
+		{bodyRepaired, "repaired"},
+	} {
+		rec := httptest.NewRecorder()
+		legacy.writeJSON(rec, http.StatusOK, map[string]string{"status": c.status})
+		if rec.Body.String() != string(c.body) {
+			t.Errorf("static %q = %q, legacy renders %q", c.status, c.body, rec.Body.String())
+		}
+	}
+}
+
+// TestGETResponseCache: repeated GETs serve from the cache, any POST
+// invalidates it, and the cached bytes match a fresh render.
+func TestGETResponseCache(t *testing.T) {
+	s := NewServer(newNet(t))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	first := get("/api/v1/stats")
+	second := get("/api/v1/stats")
+	if first != second {
+		t.Fatalf("cached stats differ:\n%s\n%s", first, second)
+	}
+	if hits := s.cacheHits.Value(); hits != 1 {
+		t.Fatalf("cache hits = %v, want 1", hits)
+	}
+
+	// A mutation invalidates: the next GET re-renders and sees the new state.
+	resp, err := http.Post(srv.URL+"/api/v1/advance", "application/json",
+		strings.NewReader(`{"duration":"1h"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance = %d", resp.StatusCode)
+	}
+	misses := s.cacheMisses.Value()
+	third := get("/api/v1/stats")
+	if third == first {
+		t.Fatal("stats unchanged after advancing the clock: stale cache")
+	}
+	if s.cacheMisses.Value() != misses+1 {
+		t.Fatal("post-mutation GET did not re-render")
+	}
+
+	// The metrics endpoint is never cached (its counters move on scrapes).
+	get("/api/v1/metrics")
+	get("/api/v1/metrics")
+	if s.cacheHits.Value() != 1 {
+		t.Fatalf("metrics GETs hit the cache: hits = %v", s.cacheHits.Value())
+	}
+}
+
+// TestLegacyServerServesIdenticalBytes runs the same scripted session against
+// a fast and a legacy server over the same-seed network and requires
+// byte-identical responses: the fast path is an optimization, not a behavior
+// change.
+func TestLegacyServerServesIdenticalBytes(t *testing.T) {
+	run := func(opts ...Option) []string {
+		t.Helper()
+		s := NewServer(newNet(t), opts...)
+		srv := httptest.NewServer(s.Handler())
+		defer srv.Close()
+		var out []string
+		do := func(method, path, body string) {
+			t.Helper()
+			var resp *http.Response
+			var err error
+			if method == http.MethodGet {
+				resp, err = http.Get(srv.URL + path)
+			} else {
+				resp, err = http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, fmt.Sprintf("%d %s", resp.StatusCode, b))
+		}
+		do("POST", "/api/v1/connect", `{"customer":"acme","from":"DC-A","to":"DC-C","rate":"10G"}`)
+		do("GET", "/api/v1/connections?customer=acme", "")
+		do("GET", "/api/v1/connections?customer=acme", "") // cache hit on the fast server
+		do("GET", "/api/v1/stats", "")
+		do("GET", "/api/v1/topology", "")
+		do("GET", "/api/v1/bill?customer=acme", "")
+		do("POST", "/api/v1/connect", `{"customer":"acme","from":"bogus","to":"DC-C","rate":"10G"}`) // error path
+		do("POST", "/api/v1/advance", `{"duration":"30m"}`)
+		do("GET", "/api/v1/stats", "")
+		return out
+	}
+	fast := run()
+	legacy := run(WithLegacyEncoding())
+	if len(fast) != len(legacy) {
+		t.Fatalf("response counts differ: %d vs %d", len(fast), len(legacy))
+	}
+	for i := range fast {
+		if fast[i] != legacy[i] {
+			t.Errorf("response %d differs:\nfast:   %s\nlegacy: %s", i, fast[i], legacy[i])
+		}
+	}
+}
+
+// discardResponseWriter is a ResponseWriter with no buffer behind it, so the
+// alloc gates measure only the encode path.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// TestWriteJSONAllocGate gates the pooled response encoder. The exact figure
+// depends on encoding/json internals; what is pinned is the absence of the
+// per-response buffer copies the legacy path made.
+func TestWriteJSONAllocGate(t *testing.T) {
+	s := NewServer(newNet(t))
+	w := &discardResponseWriter{}
+	v := &StatsJSON{Now: "t", Active: 3, ChannelsInUse: 7}
+	s.writeJSON(w, http.StatusOK, v) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		s.writeJSON(w, http.StatusOK, v)
+	})
+	if allocs > 2 {
+		t.Fatalf("writeJSON allocates %.1f objects per response, want <= 2", allocs)
+	}
+}
+
+// TestWriteStaticAllocGate: fixed-shape mutation responses must not allocate
+// at all.
+func TestWriteStaticAllocGate(t *testing.T) {
+	s := NewServer(newNet(t))
+	w := &discardResponseWriter{}
+	w.Header().Set("Content-Type", "application/json")
+	allocs := testing.AllocsPerRun(200, func() {
+		s.writeStatic(w, bodyReleased, "released")
+	})
+	if allocs > 0 {
+		t.Fatalf("writeStatic allocates %.1f objects per response, want 0", allocs)
+	}
+}

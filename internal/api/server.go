@@ -1,7 +1,6 @@
 package api
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -24,18 +23,36 @@ type Server struct {
 	// encodeErrs counts responses that failed to encode or write — the same
 	// instrument the controller registers, fetched from the shared registry.
 	encodeErrs *obs.Counter
+
+	// legacy restores the pre-optimization response path (WithLegacyEncoding).
+	legacy bool
+	cache  respCache
+	cacheHits,
+	cacheMisses *obs.Counter
+
+	// testEncodeErr, when set, overrides response encoding — the seam the
+	// terminal plain-text fallback test uses.
+	testEncodeErr func(v any) error
 }
 
 // NewServer wraps a network.
-func NewServer(net *griphon.Network) *Server {
-	return &Server{
+func NewServer(net *griphon.Network, opts ...Option) *Server {
+	s := &Server{
 		net: net,
 		encodeErrs: net.Metrics().Counter("griphon_api_encode_errors_total",
 			"HTTP API responses that failed to encode or write."),
+		cacheHits: net.Metrics().Counter("griphon_api_cache_hits_total",
+			"GET responses served from the invalidation-versioned response cache."),
+		cacheMisses: net.Metrics().Counter("griphon_api_cache_misses_total",
+			"Cacheable GET responses rendered from state."),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
-// Handler returns the API's routing table.
+// Handler returns the API's routing table, wrapped in the GET response cache.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/connections", s.handleConnections)
@@ -58,41 +75,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/repair", s.handleRepair)
 	mux.HandleFunc("POST /api/v1/maintenance", s.handleMaintenance)
 	mux.HandleFunc("POST /api/v1/advance", s.handleAdvance)
-	return mux
-}
-
-// writeJSON encodes v fully before touching the ResponseWriter, so an encode
-// failure still yields a well-formed 500 instead of a truncated 200 body.
-// Encode and write failures both count in griphon_api_encode_errors_total.
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	buf, err := json.Marshal(v)
-	if err != nil {
-		s.encodeErrs.Inc()
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
-		msg, _ := json.Marshal(ErrorJSON{Error: fmt.Sprintf("encoding response: %s", err)})
-		w.Write(msg) //lint:allow errcheck best effort on the error path
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if _, err := w.Write(append(buf, '\n')); err != nil {
-		s.encodeErrs.Inc() // client gone; record it and move on
-	}
-}
-
-func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, ErrorJSON{Error: err.Error()})
-}
-
-func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return false
-	}
-	return true
+	return s.withCache(mux)
 }
 
 func (s *Server) now() sim.Time { return sim.Time(s.net.Now()) }
@@ -168,7 +151,7 @@ func (s *Server) handleDisconnect(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+	s.writeStatic(w, bodyReleased, "released")
 }
 
 func (s *Server) handleRoll(w http.ResponseWriter, r *http.Request) {
@@ -247,7 +230,7 @@ func (s *Server) handleCut(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "cut"})
+	s.writeStatic(w, bodyCut, "cut")
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
@@ -261,7 +244,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusConflict, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "repaired"})
+	s.writeStatic(w, bodyRepaired, "repaired")
 }
 
 func (s *Server) handleMaintenance(w http.ResponseWriter, r *http.Request) {

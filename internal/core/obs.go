@@ -159,6 +159,14 @@ func (c *Controller) initObs() {
 			func() float64 { return float64(c.jrnl.Stats().Replayed) })
 		r.CounterFunc("griphon_journal_torn_bytes_total", "Bytes discarded from a torn WAL tail.",
 			func() float64 { return float64(c.jrnl.Stats().TornBytes) })
+		r.CounterFunc("griphon_journal_group_commits_total", "Fsync batches that covered more than one append.",
+			func() float64 { return float64(c.jrnl.Stats().GroupCommits) })
+		r.CounterFunc("griphon_journal_rotations_total", "WAL segment rotations.",
+			func() float64 { return float64(c.jrnl.Stats().Rotations) })
+		r.CounterFunc("griphon_journal_compacted_total", "Snapshot-covered WAL files unlinked by the compactor.",
+			func() float64 { return float64(c.jrnl.Stats().Compacted) })
+		r.CounterFunc("griphon_journal_dup_seqs_total", "Duplicate WAL sequence numbers resolved last-write-wins at open.",
+			func() float64 { return float64(c.jrnl.Stats().DupSeqs) })
 	}
 
 	// Live-state gauges, computed at scrape time from the resource database.

@@ -20,6 +20,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 
 	"griphon/internal/journal"
@@ -528,20 +529,87 @@ func (c *Controller) journalCommit(cs commitSet) {
 	}
 }
 
-// snapshotNow writes a full state snapshot, resetting the WAL.
+// snapshotNow streams a full state snapshot, record by record, after which
+// the journal rotates the WAL and compacts the covered segments. Streaming
+// keeps the snapshot's memory cost at one entity record, not one full copy of
+// the serialized database.
 func (c *Controller) snapshotNow() {
 	if c.jrnl == nil {
 		return
 	}
 	sp := c.tr.Start(obs.SpanRef{}, "journal:snapshot")
 	st := c.captureState()
-	data, err := json.Marshal(&st)
+	w, err := c.jrnl.BeginSnapshot()
 	if err == nil {
-		err = c.jrnl.WriteSnapshot(data)
+		if serr := streamState(w, &st); serr != nil {
+			w.Abort()
+			err = serr
+		} else {
+			err = w.Commit()
+		}
 	}
 	sp.EndErr(err)
 	if err != nil {
 		c.ins.journalErrs.Inc()
 		c.log("", "journal-error", "snapshot: %v", err)
 	}
+}
+
+// streamState writes st's canonical serialization to w one record at a time,
+// byte-identical to json.Marshal(&st): the scalar header first, then each
+// entity array element-by-element in struct field order.
+func streamState(w io.Writer, st *stateRec) error {
+	hdr := *st
+	hdr.Quotas, hdr.DownLinks, hdr.Conns, hdr.Pipes, hdr.Bookings = nil, nil, nil, nil, nil
+	b, err := json.Marshal(&hdr)
+	if err != nil {
+		return err
+	}
+	// Hold the closing brace: the arrays splice in before it.
+	if _, err := w.Write(b[:len(b)-1]); err != nil {
+		return err
+	}
+	if err := streamField(w, "quotas", len(st.Quotas), func(i int) any { return &st.Quotas[i] }); err != nil {
+		return err
+	}
+	if err := streamField(w, "down_links", len(st.DownLinks), func(i int) any { return &st.DownLinks[i] }); err != nil {
+		return err
+	}
+	if err := streamField(w, "conns", len(st.Conns), func(i int) any { return &st.Conns[i] }); err != nil {
+		return err
+	}
+	if err := streamField(w, "pipes", len(st.Pipes), func(i int) any { return &st.Pipes[i] }); err != nil {
+		return err
+	}
+	if err := streamField(w, "bookings", len(st.Bookings), func(i int) any { return &st.Bookings[i] }); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte{'}'})
+	return err
+}
+
+// streamField writes one omitempty JSON array field, one element per marshal.
+func streamField(w io.Writer, name string, n int, elem func(int) any) error {
+	if n == 0 {
+		return nil
+	}
+	if _, err := io.WriteString(w, `,"`+name+`":[`); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if _, err := w.Write([]byte{','}); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(elem(i))
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]")
+	return err
 }

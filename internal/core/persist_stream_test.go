@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"griphon/internal/journal"
+	"griphon/internal/sim"
+	"griphon/internal/topo"
+)
+
+// TestStreamStateMatchesMarshal pins the streamed snapshot encoder to the
+// canonical one-shot marshal: same state, byte-identical serialization. The
+// replay and crash-harness comparisons all assume this equivalence.
+func TestStreamStateMatchesMarshal(t *testing.T) {
+	k := sim.NewKernel(21)
+	store := openJournal(t, t.TempDir())
+	defer store.Close()
+	c, err := New(k, topo.Testbed(), Config{AutoRepair: true, Journal: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJournaledOps(t, k, c, 80)
+	k.Run()
+
+	st := c.captureState()
+	want, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := streamState(&got, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Fatalf("streamed state differs from marshal:\nmarshal: %s\nstream:  %s", want, got.Bytes())
+	}
+
+	// The empty state must stream identically too (all arrays omitted).
+	empty := stateRec{}
+	want2, _ := json.Marshal(&empty)
+	var got2 bytes.Buffer
+	if err := streamState(&got2, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want2, got2.Bytes()) {
+		t.Fatalf("empty state streams as %s, want %s", got2.Bytes(), want2)
+	}
+}
+
+// TestLegacyJSONDirUpgradesInPlace is the cross-era compatibility contract: a
+// state directory written entirely in the legacy JSON encoding (snapshot and
+// WAL records) keeps accepting binary appends after an upgrade, and the
+// resulting mixed-format directory rehydrates byte-equal to the live state.
+func TestLegacyJSONDirUpgradesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	legacyStore, err := journal.Open(dir, journal.Options{LegacyJSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(31)
+	c, err := New(k, topo.Testbed(), Config{AutoRepair: true, Journal: legacyStore, SnapshotEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJournaledOps(t, k, c, 60)
+	k.Run()
+	if legacyStore.Stats().Snapshots == 0 {
+		t.Fatal("workload too small: no legacy snapshot written")
+	}
+	legacyFrozen, err := c.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacyStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upgrade: same directory, binary format. Snapshotting is disabled so the
+	// legacy JSON snapshot stays on disk and the new records land as binary
+	// WAL frames behind it — the mixed-format directory of interest.
+	binStore, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := sim.NewKernel(32)
+	c2, err := Rehydrate(k2, topo.Testbed(), Config{AutoRepair: true, Journal: binStore, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacyFrozen, got) {
+		t.Fatalf("legacy JSON dir rehydrated differently:\nlive:      %s\nrecovered: %s", legacyFrozen, got)
+	}
+	runJournaledOps(t, k2, c2, 40)
+	k2.Run()
+	checkInvariants(t, c2, -1)
+	want, err := c2.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := binStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third era: recover the mixed directory.
+	store3, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	replayed, err := ReplayDurable(store3.Recovered())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, replayed) {
+		t.Fatalf("mixed-format replay diverges:\nlive:   %s\nreplay: %s", want, replayed)
+	}
+	k3 := sim.NewKernel(33)
+	c3, err := Rehydrate(k3, topo.Testbed(), Config{AutoRepair: true, Journal: store3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3, err := c3.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got3) {
+		t.Fatalf("mixed-format dir rehydrated differently:\nlive:      %s\nrecovered: %s", want, got3)
+	}
+	checkInvariants(t, c3, -2)
+}

@@ -58,6 +58,9 @@ type ShardSetConfig struct {
 	StateDir string
 	// Fsync syncs every journal append (with StateDir).
 	Fsync bool
+	// SegmentSize bounds each shard's WAL segments in bytes (with StateDir):
+	// 0 means the journal's default, negative disables rotation.
+	SegmentSize int64
 	// Tracing gives every shard a span tracer on its own kernel.
 	Tracing bool
 	// MaxPipesPerPair caps live OTN pipes per node pair across all shards
@@ -124,7 +127,7 @@ func NewShardSet(g *topo.Graph, cfg ShardSetConfig) (*ShardSet, error) {
 				dir = filepath.Join(cfg.StateDir, fmt.Sprintf("shard-%d", i))
 			}
 			var err error
-			store, err = journal.Open(dir, journal.Options{Fsync: cfg.Fsync})
+			store, err = journal.Open(dir, journal.Options{Fsync: cfg.Fsync, SegmentSize: cfg.SegmentSize})
 			if err != nil {
 				s.Close() //lint:allow errcheck construction already failed
 				return nil, err

@@ -16,17 +16,36 @@ import (
 	"griphon/internal/topo"
 )
 
+// crashSegmentSize keeps WAL segments tiny so the workload rotates many
+// times and the cut space includes plenty of segment boundaries — the
+// mid-rotation kill points.
+const crashSegmentSize = 1024
+
+// crashArchiveSeq is the sequence number at which the soak photographs the
+// live WAL directory; segments compacted away after that point are re-added
+// in the mid-compaction trials.
+const crashArchiveSeq = 60
+
 // CrashRec is the crash-recovery soak: a journaled controller runs the chaos
 // workload under the EMS fault model while a shadow copy of the durable state
-// is captured at every WAL sequence point; then the WAL is truncated at random
-// byte offsets — simulating a process crash with a torn tail — and recovery
-// must (a) discard the torn frame whole, (b) rehydrate to a state that passes
-// the invariant audit, and (c) land byte-identically on the shadow captured at
-// the surviving sequence number. A single half-applied operation anywhere
-// breaks (c); a leaked resource breaks (b).
+// is captured at every WAL sequence point; then the segmented WAL — treated
+// as one logical byte stream — is cut at random offsets and at every segment
+// boundary (a crash mid-rotation), and covered segments a crashed compactor
+// would have left behind are re-injected. Recovery must (a) discard the torn
+// tail whole, (b) rehydrate to a state that passes the invariant audit, and
+// (c) land byte-identically on the shadow captured at the surviving sequence
+// number. A single half-applied operation anywhere breaks (c); a leaked
+// resource breaks (b).
 func CrashRec(seed int64) (Result, error) { return CrashRecN(seed, 25) }
 
-// CrashRecN runs the soak with a configurable number of truncation trials.
+// walPart is one WAL file's contribution to the logical byte stream.
+type walPart struct {
+	name string
+	data []byte
+}
+
+// CrashRecN runs the soak with a configurable number of random-cut trials
+// (boundary and compaction trials ride on top).
 func CrashRecN(seed int64, trials int) (Result, error) {
 	res := Result{ID: "crashrec", Paper: "§2.2 extension: WAL crash injection with shadow-state diff"}
 	dir, err := os.MkdirTemp("", "griphon-crashrec-*")
@@ -36,7 +55,7 @@ func CrashRecN(seed int64, trials int) (Result, error) {
 	defer os.RemoveAll(dir)
 
 	liveDir := filepath.Join(dir, "live")
-	store, err := journal.Open(liveDir, journal.Options{})
+	store, err := journal.Open(liveDir, journal.Options{SegmentSize: crashSegmentSize})
 	if err != nil {
 		return Result{}, err
 	}
@@ -54,13 +73,15 @@ func CrashRecN(seed int64, trials int) (Result, error) {
 
 	// Shadow every committed state: after each durable append the live
 	// controller's serialized state is the ground truth for that sequence
-	// number. shadows[0] is the empty pre-workload state.
+	// number. shadows[0] is the empty pre-workload state. At crashArchiveSeq
+	// the WAL directory is photographed for the mid-compaction trials.
 	shadows := map[uint64][]byte{}
 	empty, err := core.ReplayDurable(nil, nil)
 	if err != nil {
 		return Result{}, err
 	}
 	shadows[0] = empty
+	archive := map[string][]byte{}
 	var hookErr error
 	store.SetOnAppend(func(e journal.Entry) {
 		st, err := ctrl.DurableState()
@@ -68,6 +89,19 @@ func CrashRecN(seed int64, trials int) (Result, error) {
 			hookErr = err
 		}
 		shadows[e.Seq] = st
+		if e.Seq == crashArchiveSeq {
+			paths, err := journal.WALFiles(liveDir)
+			if err != nil {
+				return
+			}
+			for _, p := range paths {
+				// A racing compactor may unlink files mid-listing; whatever
+				// survives the read is the photograph.
+				if b, err := os.ReadFile(p); err == nil {
+					archive[filepath.Base(p)] = b
+				}
+			}
+		}
 	})
 
 	steps := crashWorkload(k, ctrl)
@@ -80,32 +114,75 @@ func CrashRecN(seed int64, trials int) (Result, error) {
 		return Result{}, err
 	}
 
-	wal, err := os.ReadFile(filepath.Join(liveDir, "wal.log"))
+	paths, err := journal.WALFiles(liveDir)
 	if err != nil {
 		return Result{}, err
 	}
-	snap, _ := os.ReadFile(filepath.Join(liveDir, "snapshot.db")) //lint:allow errcheck may not exist
-
-	rng := sim.NewRand(seed*7 + 13)
-	findings := 0
-	tornTotal := int64(0)
-	minSeq, maxSeq := uint64(1<<63), uint64(0)
-	for trial := 0; trial < trials; trial++ {
-		cut := rng.Intn(len(wal) + 1)
-		trialDir := filepath.Join(dir, fmt.Sprintf("trial%d", trial))
-		if err := os.MkdirAll(trialDir, 0o755); err != nil {
+	var parts []walPart
+	total := 0
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
 			return Result{}, err
 		}
-		if err := os.WriteFile(filepath.Join(trialDir, "wal.log"), wal[:cut], 0o644); err != nil {
-			return Result{}, err
+		parts = append(parts, walPart{name: filepath.Base(p), data: b})
+		total += len(b)
+	}
+	snap, _ := os.ReadFile(filepath.Join(liveDir, "snapshot.db")) //lint:allow errcheck may not exist
+
+	// makeTrialDir lays out a crash at byte offset cut of the logical stream:
+	// files wholly below the cut survive intact, the file holding the cut is
+	// torn there, and files after it never existed yet.
+	makeTrialDir := func(trialDir string, cut int) error {
+		if err := os.MkdirAll(trialDir, 0o755); err != nil {
+			return err
 		}
 		if snap != nil {
 			if err := os.WriteFile(filepath.Join(trialDir, "snapshot.db"), snap, 0o644); err != nil {
-				return Result{}, err
+				return err
 			}
 		}
+		rem := cut
+		for _, p := range parts {
+			if rem <= 0 {
+				break
+			}
+			n := len(p.data)
+			if rem < n {
+				n = rem
+			}
+			if err := os.WriteFile(filepath.Join(trialDir, p.name), p.data[:n], 0o644); err != nil {
+				return err
+			}
+			rem -= n
+		}
+		return nil
+	}
 
-		tstore, err := journal.Open(trialDir, journal.Options{})
+	// Cut points: the requested number of random offsets, plus every segment
+	// boundary — a crash landing exactly between sealing one segment and
+	// writing the first frame of the next.
+	rng := sim.NewRand(seed*7 + 13)
+	cuts := make([]int, 0, trials+len(parts))
+	for trial := 0; trial < trials; trial++ {
+		cuts = append(cuts, rng.Intn(total+1))
+	}
+	boundary := 0
+	for _, p := range parts {
+		boundary += len(p.data)
+		cuts = append(cuts, boundary)
+	}
+
+	findings := 0
+	tornTotal := int64(0)
+	minSeq, maxSeq := uint64(1<<63), uint64(0)
+	for trial, cut := range cuts {
+		trialDir := filepath.Join(dir, fmt.Sprintf("trial%d", trial))
+		if err := makeTrialDir(trialDir, cut); err != nil {
+			return Result{}, err
+		}
+
+		tstore, err := journal.Open(trialDir, journal.Options{SegmentSize: crashSegmentSize})
 		if err != nil {
 			findings++
 			res.notef("trial %d (cut %d): reopen failed: %v", trial, cut, err)
@@ -162,27 +239,83 @@ func CrashRecN(seed int64, trials int) (Result, error) {
 		tstore.Close()
 	}
 
+	// Mid-compaction kill points: the final snapshot and WAL tail, plus the
+	// covered segments a crashed compactor had not yet unlinked (recovered
+	// from the archive photograph). Open must skip every covered frame,
+	// finish the compaction, and land on the same state.
+	finalNames := map[string]bool{}
+	for _, p := range parts {
+		finalNames[p.name] = true
+	}
+	compactTrials, staleSegs := 0, 0
+	if len(archive) > 0 {
+		trialDir := filepath.Join(dir, "compaction")
+		if err := makeTrialDir(trialDir, total); err != nil {
+			return Result{}, err
+		}
+		for name, b := range archive {
+			if finalNames[name] {
+				continue // still live at crash; the cut layout already has it
+			}
+			staleSegs++
+			if err := os.WriteFile(filepath.Join(trialDir, name), b, 0o644); err != nil {
+				return Result{}, err
+			}
+		}
+		compactTrials = 1
+		tstore, err := journal.Open(trialDir, journal.Options{SegmentSize: crashSegmentSize})
+		if err != nil {
+			findings++
+			res.notef("compaction trial: reopen failed: %v", err)
+		} else {
+			seq := tstore.Seq()
+			replayed, rerr := core.ReplayDurable(tstore.Recovered())
+			switch {
+			case rerr != nil:
+				findings++
+				res.notef("compaction trial: replay failed: %v", rerr)
+			case !bytes.Equal(replayed, shadows[seq]):
+				findings++
+				res.notef("compaction trial: replay of seq %d diverges from shadow (%d stale segments present)", seq, staleSegs)
+			default:
+				tstore.CompactWait()
+				left, lerr := journal.WALFiles(trialDir)
+				if lerr == nil && len(left) > len(parts) {
+					findings++
+					res.notef("compaction trial: %d stale segments survived recovery", len(left)-len(parts))
+				}
+			}
+			tstore.Close()
+		}
+	}
+
 	tb := metrics.NewTable("Crash injection: random WAL truncation, recover, audit, diff",
 		"Quantity", "Value")
 	tb.Row("workload operations", float64(steps))
 	tb.Row("commits journaled", float64(len(shadows)-1))
-	tb.Row("WAL bytes at crash", float64(len(wal)))
-	tb.Row("truncation trials", float64(trials))
+	tb.Row("WAL bytes at crash", float64(total))
+	tb.Row("WAL segments at crash", float64(len(parts)))
+	tb.Row("random truncation trials", float64(trials))
+	tb.Row("segment-boundary trials", float64(len(parts)))
+	tb.Row("mid-compaction trials", float64(compactTrials))
+	tb.Row("stale segments re-injected", float64(staleSegs))
 	tb.Row("torn bytes discarded", float64(tornTotal))
 	tb.Row("lowest surviving seq", float64(minSeq))
 	tb.Row("highest surviving seq", float64(maxSeq))
 	tb.Row("findings", float64(findings))
 	res.Tables = append(res.Tables, tb)
 
+	allTrials := len(cuts) + compactTrials
 	res.value("ops", float64(steps))
 	res.value("commits", float64(len(shadows)-1))
-	res.value("trials", float64(trials))
+	res.value("trials", float64(allTrials))
+	res.value("segments", float64(len(parts)))
 	res.value("torn_bytes", float64(tornTotal))
 	res.value("findings", float64(findings))
 	if findings == 0 {
-		res.notef("%d truncation points recovered exactly: every torn tail discarded whole, every recovery audit-clean and byte-identical to its shadow", trials)
+		res.notef("%d kill points recovered exactly (%d random, %d segment-boundary, %d mid-compaction): every torn tail discarded whole, every recovery audit-clean and byte-identical to its shadow", allTrials, trials, len(parts), compactTrials)
 	} else {
-		res.notef("RECOVERY FAILURES: %d of %d trials — see notes above", findings, trials)
+		res.notef("RECOVERY FAILURES: %d of %d trials — see notes above", findings, allTrials)
 	}
 	return res, nil
 }

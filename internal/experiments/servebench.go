@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+
+	"griphon"
+	"griphon/internal/api"
+	"griphon/internal/journal"
+	"griphon/internal/metrics"
+	"griphon/internal/sim"
+)
+
+// Serve is the PR 10 hot-path war: the same journal and API workloads are run
+// twice — once on the original per-commit-fsync / allocate-per-response paths
+// and once with group commit, pooled encoders and the GET response cache — and
+// the sustained-throughput ratio is reported. Unlike the rest of the suite
+// this measures wall time (through sim.Stopwatch, the sanctioned exception):
+// the subject is the real fsync and real HTTP stack, not the simulation.
+
+// ServeLat summarizes one HTTP mode: sustained ops/sec plus request-latency
+// percentiles in milliseconds.
+type ServeLat struct {
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// ServeJournal compares per-commit fsync (one sequential appender) against
+// group commit (many concurrent committers sharing fsyncs), both durable.
+type ServeJournal struct {
+	PerCommitOpsPerSec float64 `json:"per_commit_ops_per_sec"`
+	GroupOpsPerSec     float64 `json:"group_ops_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	Appends            uint64  `json:"appends"`
+	GroupFsyncs        uint64  `json:"group_fsyncs"`
+	GroupCommits       uint64  `json:"group_commits"`
+}
+
+// ServeHTTP compares the legacy response path against the fast path over real
+// HTTP. P99Ratio is fast p99 / legacy p99 — the "flat p99" check: the fast
+// path must not buy throughput with tail latency.
+type ServeHTTP struct {
+	Legacy   ServeLat `json:"legacy"`
+	Fast     ServeLat `json:"fast"`
+	Speedup  float64  `json:"speedup"`
+	P99Ratio float64  `json:"p99_ratio"`
+}
+
+// ServeReport is the JSON artifact (BENCH_PR10.json) the CI serve gate
+// compares against.
+type ServeReport struct {
+	PR      int          `json:"pr"`
+	Seed    int64        `json:"seed"`
+	Iters   int          `json:"iters"`
+	Clients int          `json:"clients"`
+	Writers int          `json:"journal_writers"`
+	Journal ServeJournal `json:"journal"`
+	HTTP    ServeHTTP    `json:"http"`
+}
+
+const (
+	serveClients        = 8   // concurrent HTTP clients
+	serveJournalWriters = 64  // concurrent committers in group-commit mode
+	serveAdvanceEvery   = 256 // one cache-invalidating POST per this many requests
+)
+
+// serveGETPaths is the GET mix one benchmark client cycles through; the
+// queried customers exist because serveNetwork pre-provisions them.
+var serveGETPaths = []string{
+	"/api/v1/events",
+	"/api/v1/connections?customer=tenant-0",
+	"/api/v1/events",
+	"/api/v1/topology",
+	"/api/v1/events",
+	"/api/v1/connections?customer=tenant-1",
+	"/api/v1/events",
+	"/api/v1/bill?customer=tenant-1",
+	"/api/v1/events",
+	"/api/v1/connections?customer=tenant-2",
+	"/api/v1/events",
+	"/api/v1/stats",
+	"/api/v1/events",
+	"/api/v1/connections?customer=tenant-3",
+	"/api/v1/events",
+	"/api/v1/bill?customer=tenant-2",
+}
+
+// ServeBench measures both comparisons and returns the raw report; ServeN
+// wraps it into a printable experiment Result. iters is both the number of
+// durable journal appends per mode and the number of HTTP requests per mode.
+func ServeBench(seed int64, iters int) (ServeReport, error) {
+	rep := ServeReport{PR: 10, Seed: seed, Iters: iters,
+		Clients: serveClients, Writers: serveJournalWriters}
+
+	perCommit, _, err := journalThroughput(iters, 1)
+	if err != nil {
+		return ServeReport{}, fmt.Errorf("serve journal per-commit: %w", err)
+	}
+	group, st, err := journalThroughput(iters, serveJournalWriters)
+	if err != nil {
+		return ServeReport{}, fmt.Errorf("serve journal group: %w", err)
+	}
+	rep.Journal = ServeJournal{
+		PerCommitOpsPerSec: perCommit,
+		GroupOpsPerSec:     group,
+		Appends:            st.Appends,
+		GroupFsyncs:        st.Fsyncs,
+		GroupCommits:       st.GroupCommits,
+	}
+	if perCommit > 0 {
+		rep.Journal.Speedup = group / perCommit
+	}
+
+	legacy, err := serveHTTPRun(seed, iters, api.WithLegacyEncoding())
+	if err != nil {
+		return ServeReport{}, fmt.Errorf("serve http legacy: %w", err)
+	}
+	fast, err := serveHTTPRun(seed, iters)
+	if err != nil {
+		return ServeReport{}, fmt.Errorf("serve http fast: %w", err)
+	}
+	rep.HTTP = ServeHTTP{Legacy: legacy, Fast: fast}
+	if legacy.OpsPerSec > 0 {
+		rep.HTTP.Speedup = fast.OpsPerSec / legacy.OpsPerSec
+	}
+	if legacy.P99Ms > 0 {
+		rep.HTTP.P99Ratio = fast.P99Ms / legacy.P99Ms
+	}
+	return rep, nil
+}
+
+// ServeN runs the benchmark and renders the comparison tables.
+func ServeN(seed int64, iters int) (Result, error) {
+	res := Result{ID: "serve", Paper: "PR 10: journal & API hot paths — group commit, pooled encoding, GET cache"}
+	rep, err := ServeBench(seed, iters)
+	if err != nil {
+		return Result{}, err
+	}
+	jt := metrics.NewTable(
+		fmt.Sprintf("Durable journal appends (%d appends per mode, fsync on)", iters),
+		"mode", "ops/sec", "fsyncs", "group commits")
+	jt.Row("per-commit", fmt.Sprintf("%.0f", rep.Journal.PerCommitOpsPerSec), fmt.Sprintf("%d", iters), "0")
+	jt.Row("group", fmt.Sprintf("%.0f", rep.Journal.GroupOpsPerSec),
+		fmt.Sprintf("%d", rep.Journal.GroupFsyncs), fmt.Sprintf("%d", rep.Journal.GroupCommits))
+	ht := metrics.NewTable(
+		fmt.Sprintf("HTTP API sustained throughput (%d requests per mode, %d clients)", iters, rep.Clients),
+		"mode", "ops/sec", "p50 ms", "p99 ms")
+	ht.Row("legacy", fmt.Sprintf("%.0f", rep.HTTP.Legacy.OpsPerSec),
+		fmt.Sprintf("%.3f", rep.HTTP.Legacy.P50Ms), fmt.Sprintf("%.3f", rep.HTTP.Legacy.P99Ms))
+	ht.Row("fast", fmt.Sprintf("%.0f", rep.HTTP.Fast.OpsPerSec),
+		fmt.Sprintf("%.3f", rep.HTTP.Fast.P50Ms), fmt.Sprintf("%.3f", rep.HTTP.Fast.P99Ms))
+	res.Tables = append(res.Tables, jt, ht)
+	res.value("journal_speedup", rep.Journal.Speedup)
+	res.value("http_speedup", rep.HTTP.Speedup)
+	res.value("http_p99_ratio", rep.HTTP.P99Ratio)
+	res.notef("group commit %.1fx over per-commit fsync; fast HTTP path %.1fx over legacy (p99 ratio %.2f); wall-clock, varies by host",
+		rep.Journal.Speedup, rep.HTTP.Speedup, rep.HTTP.P99Ratio)
+	return res, nil
+}
+
+// Serve is the registered experiment entry point.
+func Serve(seed int64) (Result, error) { return ServeN(seed, 800) }
+
+// journalThroughput opens a durable store in a scratch directory and measures
+// appends/sec with the given number of concurrent committers. One writer
+// means every append pays its own fsync; more writers exercise group commit.
+func journalThroughput(iters, writers int) (float64, journal.Stats, error) {
+	dir, err := os.MkdirTemp("", "griphon-servebench-")
+	if err != nil {
+		return 0, journal.Stats{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := journal.Open(dir, journal.Options{Fsync: true})
+	if err != nil {
+		return 0, journal.Stats{}, err
+	}
+	payload := []byte(`{"op":"bench","pad":"` + strings.Repeat("x", 96) + `"}`)
+	per := iters / writers
+	if per == 0 {
+		per = 1
+	}
+	total := per * writers
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	sw := sim.NewStopwatch()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := store.Append("commit", payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := sw.Elapsed()
+	close(errs)
+	if err := <-errs; err != nil {
+		store.Close() //lint:allow errcheck already failing
+		return 0, journal.Stats{}, err
+	}
+	st := store.Stats()
+	if err := store.Close(); err != nil {
+		return 0, journal.Stats{}, err
+	}
+	return float64(total) / elapsed.Seconds(), st, nil
+}
+
+// serveNetwork builds the benchmark network: the Fig. 4 testbed with four
+// tenants' circuits provisioned, so the measured GET bodies carry real state.
+func serveNetwork(seed int64) (*griphon.Network, error) {
+	net, err := griphon.New(griphon.Testbed(), griphon.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	pairs := [][2]string{{"DC-A", "DC-B"}, {"DC-A", "DC-C"}, {"DC-B", "DC-C"}}
+	for t := 0; t < 4; t++ {
+		for _, p := range pairs {
+			for i := 0; i < 5; i++ {
+				if _, err := net.Connect(fmt.Sprintf("tenant-%d", t), p[0], p[1], griphon.Rate1G); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	net.Drain()
+	return net, nil
+}
+
+// serveHTTPRun serves one mode over a real loopback listener and drives it
+// with concurrent clients running a GET-heavy mix with periodic
+// cache-invalidating POSTs. Per-request latencies come from per-request
+// stopwatches; throughput from the whole run's wall time.
+func serveHTTPRun(seed int64, iters int, opts ...api.Option) (ServeLat, error) {
+	net, err := serveNetwork(seed)
+	if err != nil {
+		return ServeLat{}, err
+	}
+	srv := httptest.NewServer(api.NewServer(net, opts...).Handler())
+	defer srv.Close()
+	transport := &http.Transport{MaxIdleConns: serveClients * 2, MaxIdleConnsPerHost: serveClients * 2}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport}
+
+	per := iters / serveClients
+	if per == 0 {
+		per = 1
+	}
+	total := per * serveClients
+	samples := make([][]float64, serveClients)
+	errs := make(chan error, serveClients)
+	var wg sync.WaitGroup
+	sw := sim.NewStopwatch()
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]float64, 0, per)
+			for i := 0; i < per; i++ {
+				n := c*per + i
+				var (
+					resp *http.Response
+					err  error
+				)
+				rsw := sim.NewStopwatch()
+				if n%serveAdvanceEvery == 0 {
+					resp, err = client.Post(srv.URL+"/api/v1/advance", "application/json",
+						strings.NewReader(`{"duration":"1m"}`))
+				} else {
+					resp, err = client.Get(srv.URL + serveGETPaths[n%len(serveGETPaths)])
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close() //lint:allow errcheck drained above
+				lat = append(lat, float64(rsw.Elapsed().Microseconds())/1000.0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("request %d: status %d", n, resp.StatusCode)
+					return
+				}
+			}
+			samples[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := sw.Elapsed()
+	close(errs)
+	if err := <-errs; err != nil {
+		return ServeLat{}, err
+	}
+	var all []float64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	st := summarize(all)
+	return ServeLat{
+		OpsPerSec: float64(total) / elapsed.Seconds(),
+		P50Ms:     st.P50,
+		P99Ms:     st.P99,
+	}, nil
+}

@@ -1,0 +1,31 @@
+package journal
+
+import "testing"
+
+// TestAppendZeroAlloc gates the binary append hot path: once the scratch
+// buffer has warmed up, Append must not allocate. A regression here is a
+// throughput regression on every commit the controller journals.
+func TestAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under the race detector")
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	data := []byte(`{"cid":"c-1","kind":"commit","paths":["a","b"],"gbps":40}`)
+	// Warm the scratch buffer.
+	if _, err := s.Append("commit", data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Append("commit", data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Append allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,311 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestFsyncFailureBurnsSequenceNumber is the discriminating test for the
+// duplicate-sequence bug: before the fix, Append wrote the frame, failed the
+// fsync, and returned without advancing s.seq — leaving a frame with seq N on
+// disk while the retry wrote a second, different frame under the same N.
+// Replay then surfaced both. The fix burns the number on fsync failure, so
+// the retry gets a fresh one and every frame on disk has a unique sequence.
+func TestFsyncFailureBurnsSequenceNumber(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	s.testSyncErr = func() error {
+		if fail {
+			return fmt.Errorf("injected fsync failure")
+		}
+		return nil
+	}
+	if _, err := s.Append("commit", []byte(`{"attempt":1}`)); err == nil {
+		t.Fatal("append survived injected fsync failure")
+	}
+	fail = false
+	// The retry is the append the caller believes committed. Pre-fix it was
+	// issued sequence 1 again; post-fix the failed attempt's number is burned.
+	seq, err := s.Append("commit", []byte(`{"attempt":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("retry got seq %d, want 2 (seq 1 must stay burned)", seq)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, entries := s2.Recovered()
+	seen := map[uint64]bool{}
+	for _, e := range entries {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate sequence %d replayed: %+v", e.Seq, entries)
+		}
+		seen[e.Seq] = true
+	}
+	// The acknowledged record must be recovered under its returned number.
+	if !seen[2] {
+		t.Fatalf("acked seq 2 missing from replay: %+v", entries)
+	}
+	for _, e := range entries {
+		if e.Seq == 2 && string(e.Data) != `{"attempt":2}` {
+			t.Fatalf("seq 2 data = %s", e.Data)
+		}
+	}
+}
+
+// TestDuplicateSeqReplayLastWins covers directories written by the pre-fix
+// code: two intact frames carrying the same sequence number. The retried
+// write is the one the caller saw succeed, so replay keeps the later frame.
+func TestDuplicateSeqReplayLastWins(t *testing.T) {
+	dir := t.TempDir()
+	var raw []byte
+	raw = appendFrame(raw, appendBinaryRecord(nil, 1, "commit", []byte(`{"try":"first"}`)))
+	raw = appendFrame(raw, appendBinaryRecord(nil, 1, "commit", []byte(`{"try":"second"}`)))
+	raw = appendFrame(raw, appendBinaryRecord(nil, 2, "commit", []byte(`{"n":2}`)))
+	if err := os.WriteFile(filepath.Join(dir, legacyWALName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, entries := s.Recovered()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v, want 2", entries)
+	}
+	if string(entries[0].Data) != `{"try":"second"}` {
+		t.Fatalf("seq 1 resolved to %s, want the later write", entries[0].Data)
+	}
+	if s.Stats().DupSeqs != 1 {
+		t.Fatalf("DupSeqs = %d, want 1", s.Stats().DupSeqs)
+	}
+	if s.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", s.Seq())
+	}
+}
+
+// TestSnapshotFailureLeavesAccountingTruthful injects a failure at every
+// pre-rename snapshot stage and verifies the store still reports the truth:
+// the snapshot did not happen, the cadence counter still shows the backlog,
+// no temp file lingers, and a subsequent snapshot succeeds cleanly.
+func TestSnapshotFailureLeavesAccountingTruthful(t *testing.T) {
+	for _, stage := range []string{"write", "sync", "rename"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < 3; i++ {
+				mustAppend(t, s, "commit", fmt.Sprintf(`{"n":%d}`, i))
+			}
+			s.testSnapErr = func(at string) error {
+				if at == stage {
+					return fmt.Errorf("injected %s failure", at)
+				}
+				return nil
+			}
+			if err := s.WriteSnapshot([]byte(`{"state":"x"}`)); err == nil {
+				t.Fatalf("snapshot survived injected %s failure", stage)
+			}
+			if got := s.AppendsSinceSnapshot(); got != 3 {
+				t.Fatalf("pending = %d after failed snapshot, want 3", got)
+			}
+			if s.Stats().Snapshots != 0 {
+				t.Fatalf("Snapshots = %d after failed snapshot", s.Stats().Snapshots)
+			}
+			if _, err := os.Stat(filepath.Join(dir, snapName+".tmp")); !os.IsNotExist(err) {
+				t.Fatalf("temp snapshot left behind (stat err %v)", err)
+			}
+			// Recovery data must still be available for the next attempt, and
+			// the store must not be wedged in "snapshotting".
+			s.testSnapErr = nil
+			if err := s.WriteSnapshot([]byte(`{"state":"x"}`)); err != nil {
+				t.Fatalf("retry snapshot: %v", err)
+			}
+			if got := s.AppendsSinceSnapshot(); got != 0 {
+				t.Fatalf("pending = %d after retry snapshot, want 0", got)
+			}
+			if s.Stats().Snapshots != 1 {
+				t.Fatalf("Snapshots = %d after retry", s.Stats().Snapshots)
+			}
+		})
+	}
+}
+
+// TestSnapshotRotateFailureStillCommits: a failure after the rename (the
+// rotation) must be reported, but the accounting must already reflect the
+// snapshot — it is, in fact, durable on disk.
+func TestSnapshotRotateFailureStillCommits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustAppend(t, s, "commit", `{"n":1}`)
+	s.testSnapErr = func(at string) error {
+		if at == "rotate" {
+			return fmt.Errorf("injected rotate failure")
+		}
+		return nil
+	}
+	if err := s.WriteSnapshot([]byte(`{"state":"s1"}`)); err == nil {
+		t.Fatal("rotate failure not reported")
+	}
+	if got := s.AppendsSinceSnapshot(); got != 0 {
+		t.Fatalf("pending = %d, want 0: the snapshot is durable", got)
+	}
+	if s.Stats().Snapshots != 1 {
+		t.Fatalf("Snapshots = %d, want 1", s.Stats().Snapshots)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap, _ := s2.Recovered()
+	if string(snap) != `{"state":"s1"}` {
+		t.Fatalf("snapshot = %s", snap)
+	}
+}
+
+// TestGroupCommitSharesFsyncs arranges a deterministic group commit: the
+// first appender becomes sync leader and blocks inside its fsync while two
+// more appenders write their frames and queue as followers. When the leader
+// finishes, one follower syncs once on behalf of both. Three durable appends,
+// two fsyncs.
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testSyncErr = func() error {
+		once.Do(func() {
+			close(blocked)
+			<-release
+		})
+		return nil
+	}
+
+	errs := make(chan error, 3)
+	seqs := make(chan uint64, 3)
+	appendOne := func(n int) {
+		seq, err := s.Append("commit", []byte(fmt.Sprintf(`{"n":%d}`, n)))
+		seqs <- seq
+		errs <- err
+	}
+	go appendOne(1)
+	<-blocked // leader is mid-fsync, store lock free
+	go appendOne(2)
+	go appendOne(3)
+	// Wait for both followers' frames to hit the file before releasing the
+	// leader; they are then parked waiting for the next sync window.
+	for s.Seq() < 3 {
+		runtime.Gosched()
+	}
+	close(release)
+	seen := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		seen[<-seqs] = true
+	}
+	if len(seen) != 3 || !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("sequence numbers = %v", seen)
+	}
+	st := s.Stats()
+	if st.Fsyncs != 2 {
+		t.Fatalf("fsyncs = %d, want 2 (leader + one shared follower sync)", st.Fsyncs)
+	}
+	if st.GroupCommits != 1 {
+		t.Fatalf("group commits = %d, want 1", st.GroupCommits)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, entries := s2.Recovered(); len(entries) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(entries))
+	}
+}
+
+// TestConcurrentAppendsReplayCleanly hammers the store from many goroutines
+// under Fsync and checks the invariants the race detector cannot: unique,
+// gap-free sequence numbers and a full replay.
+func TestConcurrentAppendsReplayCleanly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: true, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := s.Append("commit", []byte(fmt.Sprintf(`{"w":%d,"i":%d}`, w, i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Appends != workers*perWorker {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	if st.Fsyncs > st.Appends {
+		t.Fatalf("fsyncs (%d) exceed appends (%d)", st.Fsyncs, st.Appends)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, entries := s2.Recovered()
+	if len(entries) != workers*perWorker {
+		t.Fatalf("recovered %d entries, want %d", len(entries), workers*perWorker)
+	}
+	for i, e := range entries {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d has seq %d: sequence not gap-free", i, e.Seq)
+		}
+	}
+}

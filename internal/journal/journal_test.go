@@ -98,8 +98,8 @@ func TestSnapshotSkipsCoveredEntries(t *testing.T) {
 }
 
 // TestSnapshotCrashBeforeWALReset simulates dying between the snapshot rename
-// and the WAL truncation: the stale WAL entries must be skipped on replay
-// because the snapshot covers their sequence numbers.
+// and the WAL rotation/compaction: the stale WAL entries must be skipped on
+// replay because the snapshot covers their sequence numbers.
 func TestSnapshotCrashBeforeWALReset(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir, Options{})
@@ -108,8 +108,9 @@ func TestSnapshotCrashBeforeWALReset(t *testing.T) {
 	}
 	mustAppend(t, s, "commit", `{"n":1}`)
 	mustAppend(t, s, "commit", `{"n":2}`)
-	// Preserve the WAL as it is before the snapshot resets it.
-	walBytes, err := os.ReadFile(filepath.Join(dir, walName))
+	// Preserve the WAL as it is before the snapshot rotates away from it.
+	walPath := s.activePath
+	walBytes, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestSnapshotCrashBeforeWALReset(t *testing.T) {
 	}
 	s.Close()
 	// Put the stale pre-snapshot WAL back: exactly the crash window.
-	if err := os.WriteFile(filepath.Join(dir, walName), walBytes, 0o644); err != nil {
+	if err := os.WriteFile(walPath, walBytes, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -156,14 +157,14 @@ func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
 	total := 0
 	for i := 0; i < 5; i++ {
 		mustAppend(t, ref, "commit", fmt.Sprintf(`{"n":%d}`, i))
-		b, err := os.ReadFile(filepath.Join(base, "ref", walName))
+		b, err := os.ReadFile(ref.activePath)
 		if err != nil {
 			t.Fatal(err)
 		}
 		total = len(b)
 		ends = append(ends, total)
 	}
-	walBytes, err := os.ReadFile(filepath.Join(base, "ref", walName))
+	walBytes, err := os.ReadFile(ref.activePath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,9 @@ func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, walName), walBytes[:cut], 0o644); err != nil {
+		// Written under the legacy name: the cut trial doubles as coverage of
+		// the pre-segmentation read path.
+		if err := os.WriteFile(filepath.Join(dir, legacyWALName), walBytes[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		s, err := Open(dir, Options{})
@@ -226,19 +229,20 @@ func TestCorruptPayloadDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustAppend(t, s, "commit", `{"n":0}`)
-	end1, err := os.ReadFile(filepath.Join(dir, walName))
+	walPath := s.activePath
+	end1, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mustAppend(t, s, "commit", `{"n":1}`)
 	s.Close()
 
-	raw, err := os.ReadFile(filepath.Join(dir, walName))
+	raw, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw[len(end1)+frameHeader+2] ^= 0xff // corrupt second frame's payload
-	if err := os.WriteFile(filepath.Join(dir, walName), raw, 0o644); err != nil {
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -263,7 +267,7 @@ func TestAbsurdLengthRejected(t *testing.T) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, walName), frame, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, legacyWALName), frame, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, err := Open(dir, Options{})

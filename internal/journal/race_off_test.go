@@ -1,0 +1,5 @@
+//go:build !race
+
+package journal
+
+const raceEnabled = false
