@@ -178,8 +178,11 @@ func (t *teeWriter) Write(p []byte) (int, error) {
 func (s *Server) withCache(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodPost {
+			// Deferred so a handler that panics mid-mutation (net/http
+			// recovers per connection) still invalidates: the state may have
+			// changed before the panic.
+			defer s.cache.bump()
 			next.ServeHTTP(w, r)
-			s.cache.bump()
 			return
 		}
 		if s.legacy || r.Method != http.MethodGet || !cacheable(r.URL.Path) {

@@ -122,6 +122,46 @@ func TestGETResponseCache(t *testing.T) {
 	}
 }
 
+// TestPanickingMutationStillInvalidates pins the deferred cache bump: a POST
+// handler that panics after mutating state (net/http recovers the panic per
+// connection, so the process survives) must still invalidate the response
+// cache, or cached GETs keep serving the pre-mutation state indefinitely.
+func TestPanickingMutationStillInvalidates(t *testing.T) {
+	s := NewServer(newNet(t))
+	state := "v1"
+	h := s.withCache(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			state = "v2"                          // the mutation lands...
+			panic("handler blew up mid-mutation") // ...then the handler dies
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, state) //lint:allow errcheck recorder never errors
+	}))
+	get := func() string {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/stats", nil))
+		return rec.Body.String()
+	}
+	if got := get(); got != "v1" {
+		t.Fatalf("first GET = %q, want v1", got)
+	}
+	if got := get(); got != "v1" { // served from cache
+		t.Fatalf("cached GET = %q, want v1", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil { // stand in for net/http's per-connection recovery
+				t.Fatal("mutation handler did not panic: test is not exercising the panic path")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/api/v1/advance", nil))
+	}()
+	if got := get(); got != "v2" {
+		t.Fatalf("GET after panicking mutation = %q, want v2 (stale cache not invalidated)", got)
+	}
+}
+
 // TestLegacyServerServesIdenticalBytes runs the same scripted session against
 // a fast and a legacy server over the same-seed network and requires
 // byte-identical responses: the fast path is an optimization, not a behavior

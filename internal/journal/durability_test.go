@@ -67,6 +67,146 @@ func TestFsyncFailureBurnsSequenceNumber(t *testing.T) {
 	}
 }
 
+// TestWriteFailureRestoresOffset is the discriminating test for the
+// offset-rollback bug: a failed Write advances the fd offset by the bytes it
+// managed to emit, and Truncate alone does not move it back. Pre-fix, the
+// retry then wrote past the truncated end, leaving a zero-filled hole that
+// replay read as a torn frame — silently discarding the retried record even
+// though it was acknowledged (and fsynced) durable.
+func TestWriteFailureRestoresOffset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := true
+	s.testWriteErr = func() (int, error) {
+		if armed {
+			armed = false
+			return 3, fmt.Errorf("injected short write")
+		}
+		return 0, nil
+	}
+	if _, err := s.Append("commit", []byte(`{"attempt":1}`)); err == nil {
+		t.Fatal("append survived injected write failure")
+	}
+	// The partial frame was truncated off, so the number was never exposed
+	// and the retry reuses it.
+	seq, err := s.Append("commit", []byte(`{"attempt":2}`))
+	if err != nil {
+		t.Fatalf("retry append: %v", err)
+	}
+	if seq != 1 {
+		t.Fatalf("retry got seq %d, want 1 (truncate succeeded, number reusable)", seq)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Stats().TornBytes != 0 {
+		t.Fatalf("TornBytes = %d: the acked frame was written over a hole", s2.Stats().TornBytes)
+	}
+	_, entries := s2.Recovered()
+	if len(entries) != 1 || entries[0].Seq != 1 || string(entries[0].Data) != `{"attempt":2}` {
+		t.Fatalf("acked record lost or mangled on replay: %+v", entries)
+	}
+}
+
+// TestUnremovablePartialFrameWedgesStore is the discriminating test for the
+// wedge: when a failed Write's partial frame cannot be truncated off, replay
+// will stop at that torn frame and discard everything after it — so the store
+// must refuse later appends rather than acknowledge records recovery cannot
+// reach. Pre-fix, the store burned the number and kept appending; those later
+// acknowledged records vanished on the next Open. The wedge heals once the
+// removal succeeds on a retried append.
+func TestUnremovablePartialFrameWedgesStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, "commit", `{"n":1}`)
+	writeFail := true
+	s.testWriteErr = func() (int, error) {
+		if writeFail {
+			writeFail = false
+			return 5, fmt.Errorf("injected short write")
+		}
+		return 0, nil
+	}
+	truncFail := true
+	s.testTruncErr = func() error {
+		if truncFail {
+			return fmt.Errorf("injected truncate failure")
+		}
+		return nil
+	}
+	if _, err := s.Append("commit", []byte(`{"n":2}`)); err == nil {
+		t.Fatal("append survived injected write failure")
+	}
+	// The partial frame is stuck on the file: every append must now fail —
+	// an acknowledged record after a torn frame is unrecoverable.
+	if seq, err := s.Append("commit", []byte(`{"n":3}`)); err == nil {
+		t.Fatalf("append acked (seq %d) behind an unremovable torn frame", seq)
+	}
+	// Truncation heals: the next append removes the partial frame, unwedges,
+	// and commits durably.
+	truncFail = false
+	seq, err := s.Append("commit", []byte(`{"n":4}`))
+	if err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if seq != 3 {
+		t.Fatalf("healed append got seq %d, want 3 (seq 2 burned by the failed write)", seq)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Stats().TornBytes != 0 {
+		t.Fatalf("TornBytes = %d: torn frame survived the heal", s2.Stats().TornBytes)
+	}
+	_, entries := s2.Recovered()
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2: %+v", len(entries), entries)
+	}
+	if entries[1].Seq != 3 || string(entries[1].Data) != `{"n":4}` {
+		t.Fatalf("acked post-heal record lost or mangled: %+v", entries)
+	}
+}
+
+// TestWedgedStoreRefusesRotation pins the interaction between the wedge and
+// segment sealing: rotating a file whose tail holds an unremoved partial
+// frame would let later appends land in a segment replay can never reach
+// (a torn tail voids every later file), so rotate must refuse while wedged.
+func TestWedgedStoreRefusesRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustAppend(t, s, "commit", `{"n":1}`)
+	s.testWriteErr = func() (int, error) { return 2, fmt.Errorf("injected short write") }
+	s.testTruncErr = func() error { return fmt.Errorf("injected truncate failure") }
+	if _, err := s.Append("commit", []byte(`{"n":2}`)); err == nil {
+		t.Fatal("append survived injected write failure")
+	}
+	rotations := s.Stats().Rotations
+	if err := s.rotate(); err == nil {
+		t.Fatal("rotate succeeded past an unremoved partial frame")
+	}
+	if got := s.Stats().Rotations; got != rotations {
+		t.Fatalf("Rotations moved %d -> %d while wedged", rotations, got)
+	}
+}
+
 // TestDuplicateSeqReplayLastWins covers directories written by the pre-fix
 // code: two intact frames carrying the same sequence number. The retried
 // write is the one the caller saw succeed, so replay keeps the later frame.

@@ -46,6 +46,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 )
@@ -146,13 +147,26 @@ type Store struct {
 	snapshotting bool
 	compactWG    sync.WaitGroup
 
+	// Wedge state: non-nil wedgedErr means a failed Write left a partial
+	// frame at offset wedgedAt that could not be truncated off the active
+	// file. Replay stops at a torn frame and discards everything after it,
+	// so while wedged the store refuses appends (retrying the removal on
+	// each attempt) and refuses rotation (sealing the torn tail would void
+	// any later segment on replay).
+	wedgedAt  int64
+	wedgedErr error
+
 	encBuf []byte // reused frame-encoding scratch, guarded by mu
 
 	// Test seams, nil in production. testSyncErr replaces the WAL fsync
 	// result; testSnapErr injects a failure at a named snapshot stage
-	// ("write", "sync", "rename", "rotate").
-	testSyncErr func() error
-	testSnapErr func(stage string) error
+	// ("write", "sync", "rename", "rotate"); testWriteErr fails the next
+	// WAL write after emitting only the reported number of frame bytes;
+	// testTruncErr fails partial-frame truncation.
+	testSyncErr  func() error
+	testSnapErr  func(stage string) error
+	testWriteErr func() (partial int, err error)
+	testTruncErr func() error
 }
 
 // Open opens (creating if necessary) the journal in dir, loads the snapshot
@@ -358,16 +372,28 @@ func (s *Store) Stats() Stats {
 // Append writes one record to the WAL and returns its sequence number.
 //
 // Error discipline: a failed append never leaves the store able to reuse a
-// sequence number that might already be on disk. A failed Write tries to
-// truncate the partial frame back off the file — only if that succeeds is
-// the number rolled back for reuse. A failed fsync keeps the number burned:
-// the frame's bytes are in the file, and a retry under the same number would
-// replay as a duplicate.
+// sequence number that might already be on disk, and never leaves the store
+// able to acknowledge a later append that replay could not recover. A failed
+// Write tries to truncate the partial frame back off the file and restore
+// the write offset — only if both succeed is the number rolled back for
+// reuse. If the partial frame cannot be provably removed, the number is
+// burned and the store wedges: replay stops at a torn frame and discards
+// everything after it, so accepting more appends would acknowledge records
+// recovery cannot reach. Each subsequent Append retries the removal and
+// unwedges the store once it succeeds. A failed fsync keeps the number
+// burned: the frame's bytes are in the file, and a retry under the same
+// number would replay as a duplicate.
 func (s *Store) Append(kind string, data []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.active == nil {
 		return 0, fmt.Errorf("journal: store is closed")
+	}
+	if s.wedgedErr != nil {
+		if err := s.truncateActive(s.wedgedAt); err != nil {
+			return 0, fmt.Errorf("journal: store wedged by unremovable partial frame (removal retried: %v): %w", err, s.wedgedErr)
+		}
+		s.wedgedErr = nil
 	}
 	seq := s.seq + 1
 	frame, err := s.encodeFrame(seq, kind, data)
@@ -375,18 +401,24 @@ func (s *Store) Append(kind string, data []byte) (uint64, error) {
 		return 0, fmt.Errorf("journal: %w", err)
 	}
 	preSize := s.activeSize
-	n, werr := s.active.Write(frame)
+	n, werr := s.writeActive(frame)
 	if werr != nil {
-		if terr := s.active.Truncate(preSize); terr == nil {
-			// The partial frame is provably gone; the sequence number was
-			// never exposed and stays available for the retry.
+		if terr := s.truncateActive(preSize); terr == nil {
+			// The partial frame is provably gone and the write offset is back
+			// at the clean end of the file; the sequence number was never
+			// exposed and stays available for the retry.
 			return 0, fmt.Errorf("journal: %w", werr)
 		}
-		// Could not remove the partial frame: burn the number so a retried
-		// append cannot write a duplicate.
+		// Could not remove the partial frame (or could not restore the write
+		// offset, which would leave a hole that reads as torn). Burn the
+		// number so a retried append cannot write a duplicate, and wedge the
+		// store: a frame appended after a torn one is discarded by replay, so
+		// it must never be acknowledged.
 		s.seq = seq
 		s.activeSeq = seq
 		s.activeSize += int64(n)
+		s.wedgedAt = preSize
+		s.wedgedErr = werr
 		return 0, fmt.Errorf("journal: %w", werr)
 	}
 	s.seq = seq
@@ -407,6 +439,44 @@ func (s *Store) Append(kind string, data []byte) (uint64, error) {
 	}
 	s.maybeRotate()
 	return seq, nil
+}
+
+// writeActive writes one frame at the active file's current offset. The test
+// seam simulates a short write the way a real one behaves: the partial bytes
+// land in the file and advance the fd offset before the error surfaces.
+// Called with mu held.
+func (s *Store) writeActive(frame []byte) (int, error) {
+	if s.testWriteErr != nil {
+		if partial, err := s.testWriteErr(); err != nil {
+			if partial > len(frame) {
+				partial = len(frame)
+			}
+			n, _ := s.active.Write(frame[:partial])
+			return n, err
+		}
+	}
+	return s.active.Write(frame)
+}
+
+// truncateActive cuts the active file back to off and restores the write
+// offset to match — Truncate alone does not move the fd offset, and a write
+// issued past the truncated end would leave a zero-filled hole that replay
+// reads as a torn frame, discarding every record after it. Called with mu
+// held.
+func (s *Store) truncateActive(off int64) error {
+	if s.testTruncErr != nil {
+		if err := s.testTruncErr(); err != nil {
+			return err
+		}
+	}
+	if err := s.active.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := s.active.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	s.activeSize = off
+	return nil
 }
 
 // waitDurable blocks until seq is covered by a successful fsync, electing

@@ -96,6 +96,13 @@ func (s *Store) maybeRotate() {
 // held. On failure the current file stays active and the caller's append is
 // unaffected.
 func (s *Store) rotate() error {
+	if s.wedgedErr != nil {
+		// Sealing a file whose tail holds an unremoved partial frame would
+		// let later appends land in a segment replay can never reach: a torn
+		// tail voids every later file. Stay on the wedged file until the
+		// partial frame is truncated off.
+		return fmt.Errorf("journal: cannot rotate past an unremoved partial frame: %w", s.wedgedErr)
+	}
 	next := s.segIndex + 1
 	if s.segIndex == 0 {
 		// The legacy wal.log is index 0; its first rotation starts the
